@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures on the
+simulated GPU substrate and prints it next to the paper's reference
+numbers.  Library generation (composer + search) is cached process-wide
+via :func:`repro.reporting.generator_for`.
+"""
+
+import pytest
+
+from repro.gpu import FERMI_C2050, GEFORCE_9800, GTX_285
+
+
+@pytest.fixture(scope="session")
+def geforce9800():
+    return GEFORCE_9800
+
+
+@pytest.fixture(scope="session")
+def gtx285():
+    return GTX_285
+
+
+@pytest.fixture(scope="session")
+def fermi():
+    return FERMI_C2050
+
+
+def emit(text: str) -> None:
+    """Print a report block (visible with -s; captured otherwise)."""
+    print("\n" + text + "\n")

@@ -1,0 +1,68 @@
+"""Ablation: which adaptor rule wins, per routine and architecture.
+
+The ADL's whole point (§IV-A) is that an adaptor defines *alternative*
+implementations and the search picks the winner per platform.  This
+ablation scores the best kernel obtainable from each rule separately.
+"""
+
+import pytest
+
+from repro.blas3 import build_routine
+from repro.reporting import ascii_table, generator_for
+
+from .conftest import emit
+
+
+def _per_rule_best(arch, name):
+    gen = generator_for(arch)
+    source = build_routine(name)
+    result = gen.searcher.search(name, source, gen.candidates(name), keep_all=True)
+    best = {}
+    for score in result.scores:
+        if not score.ok:
+            continue
+        rule = score.script.provenance
+        if rule not in best or score.gflops > best[rule]:
+            best[rule] = score.gflops
+    return best
+
+
+@pytest.fixture(scope="module")
+def symm_rules(gtx285):
+    return _per_rule_best(gtx285, "SYMM-LL")
+
+
+@pytest.fixture(scope="module")
+def trmm_rules(gtx285):
+    return _per_rule_best(gtx285, "TRMM-LL-N")
+
+
+def test_ablation_report(symm_rules, trmm_rules, gtx285, benchmark):
+    benchmark(lambda: max(symm_rules.values()))
+    rows = [("SYMM-LL :: " + k, v) for k, v in sorted(symm_rules.items())]
+    rows += [("TRMM-LL-N :: " + k, v) for k, v in sorted(trmm_rules.items())]
+    emit(
+        ascii_table(
+            ["adaptor rule", "best GFLOPS"],
+            rows,
+            title=f"Ablation — per-adaptor-rule best on {gtx285.name} "
+            "(rule #0 = empty, see repro.adl.builtin)",
+        )
+    )
+
+
+def test_symm_gm_map_rule_wins(symm_rules, benchmark):
+    # Rule #1 (GM_map + format_iteration) must beat the empty rule (#0).
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    empty = [v for k, v in symm_rules.items() if k.endswith("#0")]
+    remap = [v for k, v in symm_rules.items() if k.endswith("#1")]
+    assert empty and remap
+    assert max(remap) > 1.5 * max(empty)
+
+
+def test_trmm_peel_or_pad_beats_naive(trmm_rules, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    empty = [v for k, v in trmm_rules.items() if k.endswith("#0")]
+    adapted = [v for k, v in trmm_rules.items() if not k.endswith("#0")]
+    assert empty and adapted
+    assert max(adapted) > 1.2 * max(empty)

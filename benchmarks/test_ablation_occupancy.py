@@ -1,0 +1,71 @@
+"""Ablation: register/shared-memory pressure vs occupancy on the three
+platforms (the per-SM resource limits of §V drive which tile shapes win
+where).
+"""
+
+import pytest
+
+from repro.gpu import FERMI_C2050, GEFORCE_9800, GTX_285, occupancy
+from repro.reporting import ascii_table
+
+from .conftest import emit
+
+SHAPES = [
+    # (threads, regs/thread, smem bytes)
+    (64, 30, 4 * 1024),
+    (64, 46, 4 * 1024),
+    (128, 30, 8 * 1024),
+    (256, 30, 8 * 1024),
+    (256, 46, 16 * 1024),
+    (512, 20, 2 * 1024),
+]
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = []
+    for threads, regs, smem in SHAPES:
+        row = [f"{threads}t/{regs}r/{smem//1024}KB"]
+        for arch in (GEFORCE_9800, GTX_285, FERMI_C2050):
+            occ = occupancy(arch, threads, regs, smem)
+            row.append(
+                f"{occ.occupancy:.2f} ({occ.blocks_per_sm} blk, {occ.limiter})"
+                if occ.feasible
+                else "infeasible"
+            )
+        rows.append(row)
+    return rows
+
+
+def test_occupancy_report(table, benchmark):
+    benchmark(lambda: occupancy(GTX_285, 64, 30, 4096))
+    emit(
+        ascii_table(
+            ["config", GEFORCE_9800.name, GTX_285.name, FERMI_C2050.name],
+            table,
+            title="Ablation — occupancy across platforms",
+        )
+    )
+
+
+def test_register_pressure_limits_g92(benchmark):
+    # 46 regs/thread on the 8K-register G92 is much tighter than on Fermi.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    g92 = occupancy(GEFORCE_9800, 256, 46, 16 * 1024)
+    fermi = occupancy(FERMI_C2050, 256, 46, 16 * 1024)
+    assert fermi.occupancy > g92.occupancy
+
+
+def test_smem_capacity_ordering(benchmark):
+    # A 16KB block fits once per SM on cc1.x but thrice on Fermi's 48KB.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cc1x = occupancy(GTX_285, 64, 16, 16 * 1024)
+    fermi = occupancy(FERMI_C2050, 64, 16, 16 * 1024)
+    assert cc1x.blocks_per_sm <= 1
+    assert fermi.blocks_per_sm >= 2
+
+
+def test_infeasible_configs_detected(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert not occupancy(GEFORCE_9800, 1024, 16, 1024).feasible  # > max threads
+    assert not occupancy(GTX_285, 64, 16, 64 * 1024).feasible  # > smem

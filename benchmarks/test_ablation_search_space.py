@@ -1,0 +1,65 @@
+"""Ablation: curated vs full parameter space.
+
+The default search sweeps a curated set of tile shapes; the full
+structurally-valid space is ~an order of magnitude larger.  This ablation
+quantifies what the curation gives up (performance) and saves (search
+cost) for GEMM-NN on the GTX 285.
+"""
+
+import time
+
+import pytest
+
+from repro.blas3 import build_routine
+from repro.reporting import ascii_table, generator_for
+from repro.tuner import VariantSearch
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def comparison(gtx285):
+    gen = generator_for(gtx285)
+    source = build_routine("GEMM-NN")
+    candidates = gen.candidates("GEMM-NN")
+    out = {}
+    for label, kwargs in (
+        ("curated", {}),
+        ("full", {"full_space": True}),
+    ):
+        search = VariantSearch(gtx285, **kwargs)
+        t0 = time.perf_counter()
+        result = search.search("GEMM-NN", source, candidates)
+        out[label] = {
+            "gflops": result.best.gflops,
+            "configs": len(search.space),
+            "seconds": time.perf_counter() - t0,
+        }
+    return out
+
+
+def test_search_space_report(comparison, gtx285, benchmark):
+    benchmark(lambda: comparison["curated"]["gflops"])
+    emit(
+        ascii_table(
+            ["space", "configs", "best GFLOPS", "search seconds"],
+            [
+                (label, d["configs"], d["gflops"], f"{d['seconds']:.1f}")
+                for label, d in comparison.items()
+            ],
+            title=f"Ablation — curated vs full parameter space "
+            f"(GEMM-NN on {gtx285.name})",
+        )
+    )
+
+
+def test_curated_close_to_full(comparison, benchmark):
+    # The curated space must give up at most 10% of the full-space best.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert comparison["curated"]["gflops"] >= 0.9 * comparison["full"]["gflops"]
+
+
+def test_full_space_is_larger_and_slower(comparison, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert comparison["full"]["configs"] > 5 * comparison["curated"]["configs"]
+    assert comparison["full"]["seconds"] > comparison["curated"]["seconds"]

@@ -1,0 +1,54 @@
+"""Figure 12: performance of BLAS3 on Fermi Tesla C2050 (N = 4096).
+
+Paper: up to 3.4x speedups over CUBLAS 3.2 on the Fermi platform; the
+gains come from reduced instruction counts and reduced global loads
+(Table III) rather than cc1.0-style coalescing.
+"""
+
+import pytest
+
+from repro.reporting import PAPER_HEADLINES, ascii_table, speedup_rows
+
+from .conftest import emit
+
+N = 4096
+
+
+@pytest.fixture(scope="module")
+def rows(fermi):
+    return speedup_rows(fermi, n=N)
+
+
+def test_fig12_report(rows, fermi, benchmark):
+    from repro.reporting import generator_for
+
+    tuned = generator_for(fermi).generate("TRMM-LL-N")
+    benchmark(tuned.gflops, N)
+    table = ascii_table(
+        ["routine", "OA GFLOPS", "CUBLAS GFLOPS", "speedup"],
+        [(r.routine, r.oa_gflops, r.cublas_gflops, f"{r.speedup:.2f}x") for r in rows],
+        title=f"Fig. 12 — BLAS3 on {fermi.name}, N={N} "
+        f"(paper: max speedup {PAPER_HEADLINES[fermi.name]['max_speedup']}x)",
+    )
+    emit(table)
+
+
+def test_oa_never_loses(rows, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for r in rows:
+        assert r.speedup >= 0.95, f"{r.routine}: {r.speedup:.2f}x"
+
+
+def test_max_speedup_band(rows, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    best = max(r.speedup for r in rows)
+    assert 1.5 <= best <= 12.0
+
+
+def test_narrowed_gap(rows, benchmark):
+    # §V-A.2: OA performance comparable to GEMM-NN across mult variants.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    mults = [r for r in rows if not r.routine.startswith("TRSM")]
+    gemm_nn = next(r.oa_gflops for r in rows if r.routine == "GEMM-NN")
+    for r in mults:
+        assert r.oa_gflops >= 0.6 * gemm_nn, f"{r.routine} far below GEMM-NN"

@@ -1,0 +1,66 @@
+"""Figure 14: the best-performing EPOD scripts the search selects.
+
+Paper's Fig. 14 lists the winning scripts for GEMM-TN, SYMM-LN, TRMM-LL-N
+and TRSM-LL-N.  The reproduction's search must arrive at the same
+*structure*: GM_map(A,Transpose) for GEMM-TN; GM_map(A,Symmetry) +
+format_iteration for SYMM; padding_triangular for TRMM-LL-N;
+binding_triangular for TRSM-LL-N — all on top of the shared
+thread_grouping / loop_tiling / loop_unroll / SM_alloc / Reg_alloc
+skeleton.
+"""
+
+import pytest
+
+from repro.reporting import best_scripts
+
+from .conftest import emit
+
+ROUTINES = ("GEMM-TN", "SYMM-LL", "TRMM-LL-N", "TRSM-LL-N")
+
+# The paper's Fig. 14 structural signature per routine.
+EXPECTED = {
+    "GEMM-TN": {"GM_map", "thread_grouping", "loop_tiling", "loop_unroll", "SM_alloc", "Reg_alloc"},
+    "SYMM-LL": {"GM_map", "format_iteration", "thread_grouping", "loop_tiling", "loop_unroll", "SM_alloc", "Reg_alloc"},
+    "TRMM-LL-N": {"thread_grouping", "loop_tiling", "padding_triangular", "loop_unroll", "SM_alloc", "Reg_alloc"},
+    "TRSM-LL-N": {"thread_grouping", "loop_tiling", "binding_triangular", "SM_alloc"},
+}
+
+
+@pytest.fixture(scope="module")
+def tuned(gtx285):
+    return best_scripts(gtx285, ROUTINES)
+
+
+def test_fig14_report(tuned, gtx285, benchmark):
+    benchmark(lambda: tuned["SYMM-LL"].script.script.render())
+    blocks = []
+    for name in ROUTINES:
+        routine = tuned[name]
+        blocks.append(
+            f"--- {name} (tuned {routine.tuned_gflops:.0f} GFLOPS, "
+            f"cfg {routine.config}) ---\n{routine.script.script.render()}"
+        )
+    emit("Fig. 14 — best-performing EPOD scripts on GTX 285\n" + "\n\n".join(blocks))
+
+
+@pytest.mark.parametrize("name", ROUTINES)
+def test_winning_script_structure(tuned, name, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    applied = {key[0] for key in tuned[name].applied_key}
+    missing = EXPECTED[name] - applied
+    assert not missing, f"{name}: paper's Fig. 14 components missing: {missing}"
+
+
+def test_symm_uses_gm_map_symmetry(tuned, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    invs = {
+        (inv.component, inv.args) for inv in tuned["SYMM-LL"].script.script
+    }
+    assert ("GM_map", ("A", "Symmetry")) in invs
+    assert ("format_iteration", ("A", "Symmetry")) in invs
+
+
+def test_trsm_binds_to_thread_zero(tuned, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    invs = {(inv.component, inv.args) for inv in tuned["TRSM-LL-N"].script.script}
+    assert ("binding_triangular", ("A", "0")) in invs

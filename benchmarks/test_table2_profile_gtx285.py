@@ -1,0 +1,67 @@
+"""Table II: SYMM profiles, OA vs CUBLAS 3.2 on GTX 285 (N = 4096).
+
+Paper: on cc1.3 "the non-coalesced memory read problem in CUBLAS did not
+show up" (gld_incoherent = 0 for both); the improvement comes from the
+reduced load count (127M -> 33M gld_coherent) and instruction count
+(181M -> roughly half).
+"""
+
+import pytest
+
+from repro.reporting import ascii_table, symm_profile
+
+from .conftest import emit
+
+N = 4096
+
+PAPER = {
+    "gld_coherent": (127_000_000, 33_000_000),
+    "gst_coherent": (420_000, 840_000),
+    "instructions": (181_000_000, None),
+}
+
+
+@pytest.fixture(scope="module")
+def profiles(gtx285):
+    return symm_profile(gtx285, n=N)
+
+
+def test_table2_report(profiles, gtx285, benchmark):
+    cublas, oa = profiles
+    benchmark(lambda: symm_profile(gtx285, n=N))
+    rows = []
+    for event in ("gld_incoherent", "gld_coherent", "gst_incoherent", "gst_coherent", "instructions"):
+        ref = PAPER.get(event)
+        ref_text = ""
+        if ref:
+            hi = f"{ref[0]/1e6:.2f}M"
+            lo = f"{ref[1]/1e6:.2f}M" if ref[1] else "?"
+            ref_text = f"paper: {hi} -> {lo}"
+        rows.append((event, getattr(cublas, event), getattr(oa, event), ref_text))
+    emit(
+        ascii_table(
+            ["event", "CUBLAS", "OA", "paper ref"],
+            rows,
+            title=f"Table II — SYMM profile on {gtx285.name}, N={N}",
+        )
+    )
+
+
+def test_no_incoherent_events_on_cc13(profiles, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cublas, oa = profiles
+    assert cublas.gld_incoherent == 0
+    assert oa.gld_incoherent == 0
+
+
+def test_loads_reduced_severalfold(profiles, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cublas, oa = profiles
+    # Paper: 127M -> 33M (3.8x fewer loads).
+    assert cublas.gld_coherent / max(oa.gld_coherent, 1) >= 2.5
+
+
+def test_instructions_reduced(profiles, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cublas, oa = profiles
+    assert oa.instructions <= 0.7 * cublas.instructions

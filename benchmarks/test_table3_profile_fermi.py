@@ -1,0 +1,55 @@
+"""Table III: SYMM profiles, OA vs CUBLAS 3.2 on Fermi Tesla C2050.
+
+Paper: the Fermi profiler reports warp-level requests; "the performance
+improvement made by OA mainly comes from reductions on both the number of
+instructions and the number of global loads executed."
+"""
+
+import pytest
+
+from repro.reporting import ascii_table, symm_profile
+
+from .conftest import emit
+
+N = 4096
+
+
+@pytest.fixture(scope="module")
+def profiles(fermi):
+    return symm_profile(fermi, n=N)
+
+
+def test_table3_report(profiles, fermi, benchmark):
+    cublas, oa = profiles
+    benchmark(lambda: symm_profile(fermi, n=N))
+    rows = [
+        (event, getattr(cublas, event), getattr(oa, event))
+        for event in ("gld_request", "gst_request", "local_load", "local_store", "instructions")
+    ]
+    emit(
+        ascii_table(
+            ["event", "CUBLAS", "OA"],
+            rows,
+            title=f"Table III — SYMM profile on {fermi.name}, N={N} "
+            "(paper: OA reduces instructions and global loads)",
+        )
+    )
+
+
+def test_fermi_reports_requests_not_coalescing(profiles, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cublas, oa = profiles
+    assert cublas.gld_incoherent == 0 and oa.gld_incoherent == 0
+    assert cublas.gld_request > 0 and oa.gld_request > 0
+
+
+def test_global_loads_reduced(profiles, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cublas, oa = profiles
+    assert oa.gld_request <= 0.7 * cublas.gld_request
+
+
+def test_instructions_reduced(profiles, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cublas, oa = profiles
+    assert oa.instructions <= 0.7 * cublas.instructions

@@ -1,0 +1,25 @@
+"""ADL: the Adaptor Definition Language (paper §IV-A)."""
+
+from .adaptor import Adaptor, AdaptorRule, Condition
+from .builtin import (
+    ADAPTOR_SOLVER,
+    ADAPTOR_SYMMETRY,
+    ADAPTOR_TRANSPOSE,
+    ADAPTOR_TRIANGULAR,
+    BUILTIN_ADAPTORS,
+)
+from .parser import AdlError, parse_adaptor, parse_adaptors
+
+__all__ = [
+    "ADAPTOR_SOLVER",
+    "ADAPTOR_SYMMETRY",
+    "ADAPTOR_TRANSPOSE",
+    "ADAPTOR_TRIANGULAR",
+    "Adaptor",
+    "AdaptorRule",
+    "AdlError",
+    "BUILTIN_ADAPTORS",
+    "Condition",
+    "parse_adaptor",
+    "parse_adaptors",
+]

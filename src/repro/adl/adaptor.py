@@ -1,0 +1,100 @@
+"""Adaptor model for the ADL (Adaptor Definition Language), paper §IV-A.
+
+An *adaptor* relates a new routine to an existing optimization scheme by
+describing, in terms of optimization components, the alternative ways a
+matrix variation (transposed / symmetric / triangular / solver-updated)
+can be folded into the scheme::
+
+    adaptor name(object):
+      | optimization component invocation sequence 1  {cond(condition 1)}
+      | optimization component invocation sequence 2  {cond(condition 2)}
+      ...
+
+Each rule yields one candidate family; an empty rule means "leave the
+matrix as is".  Conditions make the generated code multi-versioned (e.g.
+``blank(X).zero = true`` for padding).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..epod.script import Invocation
+
+__all__ = ["AdaptorRule", "Adaptor", "Condition"]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A rule condition such as ``blank(X).zero = true``.
+
+    ``flag(obj)`` maps the condition to the runtime flag the generated
+    multi-versioned code tests (``check_blank_zero`` in the paper's
+    example).
+    """
+
+    text: str
+
+    _BLANK_RE = re.compile(r"blank\((?P<obj>\w+)\)\.zero\s*=\s*true")
+
+    def instantiate(self, obj: str) -> "Condition":
+        return Condition(self.text.replace("X", obj))
+
+    def flag(self) -> Optional[str]:
+        match = self._BLANK_RE.fullmatch(self.text.strip())
+        if match:
+            return f"blank_zero_{match.group('obj')}"
+        return None
+
+    def __str__(self):
+        return f"cond({self.text})"
+
+
+@dataclass(frozen=True)
+class AdaptorRule:
+    """One alternative implementation: a component sequence + condition."""
+
+    invocations: Tuple[Invocation, ...] = ()
+    condition: Optional[Condition] = None
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.invocations
+
+    def instantiate(self, obj: str) -> "AdaptorRule":
+        """Substitute the adaptor's formal parameter with a concrete array."""
+        new_invs = tuple(
+            Invocation(
+                inv.component,
+                tuple(obj if a == "X" else a for a in inv.args),
+                inv.outputs,
+            )
+            for inv in self.invocations
+        )
+        cond = self.condition.instantiate(obj) if self.condition else None
+        return AdaptorRule(new_invs, cond)
+
+    def render(self) -> str:
+        seq = " ".join(inv.render() for inv in self.invocations)
+        cond = f" {{{self.condition}}}" if self.condition else ""
+        return f"| {seq}{cond}" if (seq or cond) else "|"
+
+
+@dataclass(frozen=True)
+class Adaptor:
+    """A named adaptor with its alternative rules (formal parameter ``X``)."""
+
+    name: str
+    param: str
+    rules: Tuple[AdaptorRule, ...]
+
+    def instantiate(self, obj: str) -> List[AdaptorRule]:
+        """All alternative implementations for a concrete object."""
+        return [rule.instantiate(obj) for rule in self.rules]
+
+    def render(self) -> str:
+        lines = [f"adaptor {self.name}({self.param}):"]
+        lines.extend(f"  {rule.render()}" for rule in self.rules)
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""The four built-in adaptors, defined verbatim from paper §IV-A.
+
+Each is parsed from the ADL text the paper prints, so the definitions stay
+human-auditable against the publication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .adaptor import Adaptor
+from .parser import parse_adaptor
+
+__all__ = [
+    "ADAPTOR_TRANSPOSE",
+    "ADAPTOR_SYMMETRY",
+    "ADAPTOR_TRIANGULAR",
+    "ADAPTOR_SOLVER",
+    "BUILTIN_ADAPTORS",
+]
+
+# §IV-A.1: empty rule / global-memory remap / shared-memory transposition.
+ADAPTOR_TRANSPOSE = parse_adaptor(
+    """
+    adaptor Adaptor_Transpose(X):
+      |
+      | GM_map(X, Transpose);
+      | SM_alloc(X, Transpose);
+    """
+)
+
+# §IV-A.2: empty rule / remap-to-full + re-format / re-format + shared tile.
+ADAPTOR_SYMMETRY = parse_adaptor(
+    """
+    adaptor Adaptor_Symmetry(X):
+      |
+      | GM_map(X, Symmetry); format_iteration(X, Symmetry);
+      | format_iteration(X, Symmetry); SM_alloc(X, Symmetry);
+    """
+)
+
+# §IV-A.3: peel, or pad under the blank-zero condition (multi-versioned).
+# The leading empty rule yields the un-adapted sequence — the paper's
+# filter walkthrough (§IV-B.2) enumerates it as Sequence 1.
+ADAPTOR_TRIANGULAR = parse_adaptor(
+    """
+    adaptor Adaptor_Triangular(X):
+      |
+      | peel_triangular(X);
+      | padding_triangular(X); {cond(blank(X).zero = true)}
+    """
+)
+
+# §IV-A.4: the TRSM update — peel the triangular area and bind it to one
+# thread of the block (Fig. 7 workload distribution).
+ADAPTOR_SOLVER = parse_adaptor(
+    """
+    adaptor Adaptor_Solver(X):
+      | peel_triangular(X); binding_triangular(X, 0);
+    """
+)
+
+BUILTIN_ADAPTORS: Dict[str, Adaptor] = {
+    a.name: a
+    for a in (
+        ADAPTOR_TRANSPOSE,
+        ADAPTOR_SYMMETRY,
+        ADAPTOR_TRIANGULAR,
+        ADAPTOR_SOLVER,
+    )
+}

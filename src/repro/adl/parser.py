@@ -1,0 +1,108 @@
+"""Textual parser for the ADL (paper §IV-A syntax).
+
+Accepted form::
+
+    adaptor Adaptor_Triangular(X):
+      |
+      | peel_triangular(X);
+      | padding_triangular(X); {cond(blank(X).zero = true)}
+
+A rule starts at ``|``; its component invocations are ``;``-separated and
+may continue on following lines until the next ``|`` or end of adaptor.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..epod.script import Invocation, ScriptError, parse_script
+from .adaptor import Adaptor, AdaptorRule, Condition
+
+__all__ = ["parse_adaptor", "parse_adaptors", "AdlError"]
+
+
+class AdlError(ValueError):
+    """Malformed ADL text."""
+
+
+_HEADER_RE = re.compile(r"^\s*adaptor\s+(?P<name>\w+)\s*\(\s*(?P<param>\w+)\s*\)\s*:\s*$")
+_COND_RE = re.compile(r"\{\s*cond\(\s*(?P<text>[^)]*(?:\)[^}]*)?)\s*\)\s*\}")
+
+
+def _parse_rule(text: str) -> AdaptorRule:
+    condition: Optional[Condition] = None
+    cond_match = _COND_RE.search(text)
+    if cond_match:
+        condition = Condition(cond_match.group("text").strip())
+        text = text[: cond_match.start()] + text[cond_match.end():]
+    text = text.strip()
+    if not text:
+        return AdaptorRule((), condition)
+    # One rule may hold several ';'-separated invocations on one line.
+    statements = "\n".join(part.strip() + ";" for part in text.split(";") if part.strip())
+    try:
+        script = parse_script(statements)
+    except ScriptError as exc:
+        raise AdlError(f"bad rule {text!r}: {exc}") from exc
+    for inv in script:
+        if inv.outputs:
+            raise AdlError("adaptor rules cannot bind output labels")
+    return AdaptorRule(tuple(script.invocations), condition)
+
+
+def parse_adaptor(text: str) -> Adaptor:
+    """Parse a single adaptor definition."""
+    adaptors = parse_adaptors(text)
+    if len(adaptors) != 1:
+        raise AdlError(f"expected exactly one adaptor, found {len(adaptors)}")
+    return adaptors[0]
+
+
+def parse_adaptors(text: str) -> List[Adaptor]:
+    """Parse a file containing one or more adaptor definitions."""
+    adaptors: List[Adaptor] = []
+    name: Optional[str] = None
+    param: Optional[str] = None
+    rules: List[AdaptorRule] = []
+    current: Optional[List[str]] = None
+
+    def flush_rule():
+        nonlocal current
+        if current is not None:
+            rules.append(_parse_rule(" ".join(current)))
+            current = None
+
+    def flush_adaptor():
+        nonlocal name, param, rules
+        flush_rule()
+        if name is not None:
+            if not rules:
+                raise AdlError(f"adaptor {name} has no rules")
+            adaptors.append(Adaptor(name, param or "X", tuple(rules)))
+        name, param, rules = None, None, []
+
+    for raw in text.splitlines():
+        line = raw.split("//")[0].rstrip()
+        if not line.strip():
+            continue
+        header = _HEADER_RE.match(line)
+        if header:
+            flush_adaptor()
+            name = header.group("name")
+            param = header.group("param")
+            continue
+        stripped = line.strip()
+        if stripped.startswith("|"):
+            if name is None:
+                raise AdlError(f"rule outside adaptor: {raw!r}")
+            flush_rule()
+            current = [stripped[1:].strip()]
+        else:
+            if current is None:
+                raise AdlError(f"unexpected line: {raw!r}")
+            current.append(stripped)
+    flush_adaptor()
+    if not adaptors:
+        raise AdlError("no adaptor definitions found")
+    return adaptors

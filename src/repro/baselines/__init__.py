@@ -1,0 +1,15 @@
+"""Behavioural baselines: CUBLAS 3.2 and MAGMA v0.2 (see DESIGN.md §2)."""
+
+from .cublas import BaselineKernel, CUBLAS_CONFIGS, cublas_gflops, cublas_kernel
+from .magma import MAGMA_CONFIGS, magma_gflops, magma_kernel, magma_supports
+
+__all__ = [
+    "BaselineKernel",
+    "CUBLAS_CONFIGS",
+    "MAGMA_CONFIGS",
+    "cublas_gflops",
+    "cublas_kernel",
+    "magma_gflops",
+    "magma_kernel",
+    "magma_supports",
+]

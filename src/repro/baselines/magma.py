@@ -1,0 +1,81 @@
+"""MAGMA v0.2 behavioural baselines (GEMM and TRSM only).
+
+The paper compares against MAGMA v0.2 on the GTX285 for the GEMM and TRSM
+variants — "SYMM and TRMM variants are not compared due to their absence
+in MAGMA library" (§V-A) — and notes MAGMA performs no better than CUBLAS
+on the GeForce, while its Fermi build only shipped GEMM.
+
+MAGMA v0.2's SGEMM *is* the Volkov kernel; its TRSM peels the rectangular
+update into GEMM calls and serialises the diagonal blocks, with larger
+tiles than CUBLAS but without per-variant tuning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..blas3.routines import build_routine, get_spec
+from ..epod.script import parse_script
+from ..epod.translator import EpodTranslator
+from ..gpu.arch import GPUArch
+from .cublas import BaselineKernel
+
+__all__ = ["magma_kernel", "magma_gflops", "magma_supports", "MAGMA_CONFIGS"]
+
+MAGMA_CONFIGS: Dict[str, Dict[str, int]] = {
+    "GEMM": {"BM": 64, "BN": 16, "KT": 16, "TX": 64, "TY": 1},
+    "TRSM": {"BM": 32, "BN": 16, "KT": 16, "TX": 32, "TY": 2},
+}
+
+_GEMM_SCRIPT = """
+(Lii, Ljj) = thread_grouping((Li, Lj));
+(Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+loop_unroll(Ljjj, Lkkk);
+SM_alloc({B}, Transpose);
+Reg_alloc({C});
+"""
+
+_TRSM_SCRIPT = """
+(Lii, Ljj) = thread_grouping((Li, Lj));
+(Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+peel_triangular(A);
+loop_unroll(Ljjj, Lkkk);
+binding_triangular(A, 0);
+SM_alloc({B}, Transpose);
+"""
+
+_kernel_cache: Dict[str, BaselineKernel] = {}
+
+
+def magma_supports(name: str, arch: GPUArch) -> bool:
+    """Which routines MAGMA v0.2 provides on which platform (§V-A)."""
+    family = get_spec(name).variant.family
+    if arch.is_fermi:
+        return family == "GEMM"
+    return family in ("GEMM", "TRSM")
+
+
+def magma_kernel(name: str) -> BaselineKernel:
+    spec = get_spec(name)
+    key = spec.name
+    if key in _kernel_cache:
+        return _kernel_cache[key]
+    family = spec.variant.family
+    if family not in MAGMA_CONFIGS:
+        raise ValueError(f"MAGMA v0.2 has no {family} routine")
+    config = dict(MAGMA_CONFIGS[family])
+    roles = dict(spec.role_map)
+    script_text = _GEMM_SCRIPT if family == "GEMM" else _TRSM_SCRIPT
+    script = parse_script(
+        script_text.format(B=roles.get("B", "B"), C=roles.get("C", "C")),
+        name=f"magma-{key}",
+    )
+    source = build_routine(key)
+    result = EpodTranslator(config).translate(source, script, mode="filter")
+    kernel = BaselineKernel(key, "MAGMA v0.2", result.comp, config)
+    _kernel_cache[key] = kernel
+    return kernel
+
+
+def magma_gflops(name: str, arch: GPUArch, n: int = 4096) -> float:
+    return magma_kernel(name).gflops(arch, n)

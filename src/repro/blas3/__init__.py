@@ -1,0 +1,21 @@
+"""BLAS3 routine catalog: the 24 variants of the paper's evaluation."""
+
+from .naming import ALL_VARIANTS, FAMILIES, VariantName, parse_variant
+from .reference import densify_symmetric, densify_triangular, random_inputs, reference
+from .routines import BASE_GEMM_SCRIPT, RoutineSpec, all_specs, build_routine, get_spec
+
+__all__ = [
+    "ALL_VARIANTS",
+    "BASE_GEMM_SCRIPT",
+    "FAMILIES",
+    "RoutineSpec",
+    "VariantName",
+    "all_specs",
+    "build_routine",
+    "densify_symmetric",
+    "densify_triangular",
+    "get_spec",
+    "parse_variant",
+    "random_inputs",
+    "reference",
+]

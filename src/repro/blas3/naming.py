@@ -1,0 +1,89 @@
+"""Variant naming for the 24 BLAS3 routine variants the paper evaluates.
+
+The paper identifies variants by postfixes: ``TRSM-LL-N`` is TRSM with a
+Left-side Lower-triangular matrix, Not transposed (§V-A).  The four
+families and their option axes:
+
+* ``GEMM-{N,T}{N,T}``  — transposition of A and B (4 variants),
+* ``SYMM-{L,R}{L,U}``  — side and stored triangle of the symmetric A (4),
+* ``TRMM-{L,R}{L,U}-{N,T}`` — side, uplo and transposition (8),
+* ``TRSM-{L,R}{L,U}-{N,T}`` — same (8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["VariantName", "ALL_VARIANTS", "parse_variant", "FAMILIES"]
+
+FAMILIES = ("GEMM", "SYMM", "TRMM", "TRSM")
+
+
+@dataclass(frozen=True)
+class VariantName:
+    family: str
+    #: GEMM: ('N'|'T' for A, 'N'|'T' for B); others: side 'L'|'R'
+    side: Optional[str] = None
+    uplo: Optional[str] = None  # 'L'ower | 'U'pper
+    trans: Optional[str] = None  # 'N' | 'T'
+    trans_a: Optional[str] = None  # GEMM only
+    trans_b: Optional[str] = None  # GEMM only
+
+    @property
+    def name(self) -> str:
+        if self.family == "GEMM":
+            return f"GEMM-{self.trans_a}{self.trans_b}"
+        if self.family == "SYMM":
+            return f"SYMM-{self.side}{self.uplo}"
+        return f"{self.family}-{self.side}{self.uplo}-{self.trans}"
+
+    def __str__(self):
+        return self.name
+
+
+def _gemm(a: str, b: str) -> VariantName:
+    return VariantName("GEMM", trans_a=a, trans_b=b)
+
+
+def _symm(side: str, uplo: str) -> VariantName:
+    return VariantName("SYMM", side=side, uplo=uplo)
+
+
+def _tr(family: str, side: str, uplo: str, trans: str) -> VariantName:
+    return VariantName(family, side=side, uplo=uplo, trans=trans)
+
+
+ALL_VARIANTS: Tuple[VariantName, ...] = tuple(
+    [_gemm(a, b) for a in "NT" for b in "NT"]
+    + [_symm(s, u) for s in "LR" for u in "LU"]
+    + [_tr("TRMM", s, u, t) for s in "LR" for u in "LU" for t in "NT"]
+    + [_tr("TRSM", s, u, t) for s in "LR" for u in "LU" for t in "NT"]
+)
+
+assert len(ALL_VARIANTS) == 24
+
+
+def parse_variant(name: str) -> VariantName:
+    """Parse a postfix name like ``TRSM-LL-N`` back into a VariantName."""
+    parts = name.upper().split("-")
+    family = parts[0]
+    if family not in FAMILIES:
+        raise ValueError(f"unknown BLAS3 family {family!r}")
+    if family == "GEMM":
+        if len(parts) != 2 or len(parts[1]) != 2 or set(parts[1]) - set("NT"):
+            raise ValueError(f"bad GEMM variant {name!r}")
+        return _gemm(parts[1][0], parts[1][1])
+    if family == "SYMM":
+        if len(parts) != 2 or len(parts[1]) != 2:
+            raise ValueError(f"bad SYMM variant {name!r}")
+        side, uplo = parts[1][0], parts[1][1]
+        if side not in "LR" or uplo not in "LU":
+            raise ValueError(f"bad SYMM variant {name!r}")
+        return _symm(side, uplo)
+    if len(parts) != 3 or len(parts[1]) != 2 or parts[2] not in ("N", "T"):
+        raise ValueError(f"bad {family} variant {name!r}")
+    side, uplo = parts[1][0], parts[1][1]
+    if side not in "LR" or uplo not in "LU":
+        raise ValueError(f"bad {family} variant {name!r}")
+    return _tr(family, side, uplo, parts[2])

@@ -1,0 +1,98 @@
+"""NumPy reference semantics for the 24 BLAS3 variants.
+
+Pure-NumPy (float64) oracles used to validate both the OA-generated
+kernels and the CUBLAS/MAGMA-like baselines.  Full BLAS semantics —
+``alpha``/``beta`` scaling — live here; the IR kernels compute the
+``alpha = beta = 1`` core update (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from .naming import VariantName, parse_variant
+
+__all__ = ["reference", "densify_symmetric", "densify_triangular", "random_inputs"]
+
+
+def densify_symmetric(stored: np.ndarray, uplo: str) -> np.ndarray:
+    """Rebuild the full symmetric matrix from its stored triangle:
+    ``X + Xᵀ − diag(X)`` (paper §III-B, the Symmetry allocation mode)."""
+    tri = np.tril(stored) if uplo == "L" else np.triu(stored)
+    return tri + tri.T - np.diag(np.diag(tri))
+
+
+def densify_triangular(stored: np.ndarray, uplo: str, trans: str) -> np.ndarray:
+    tri = np.tril(stored) if uplo == "L" else np.triu(stored)
+    return tri.T if trans == "T" else tri
+
+
+def reference(
+    name: str,
+    inputs: Mapping[str, np.ndarray],
+    alpha: float = 1.0,
+    beta: float = 1.0,
+) -> np.ndarray:
+    """Expected result of a variant on ``inputs`` (float64 arithmetic)."""
+    v = parse_variant(name)
+    a = np.asarray(inputs["A"], dtype=np.float64)
+    b = np.asarray(inputs["B"], dtype=np.float64)
+    c = np.asarray(inputs["C"], dtype=np.float64) if "C" in inputs else None
+
+    if v.family == "GEMM":
+        opa = a.T if v.trans_a == "T" else a
+        opb = b.T if v.trans_b == "T" else b
+        return alpha * (opa @ opb) + (beta * c if c is not None else 0.0)
+
+    if v.family == "SYMM":
+        full = densify_symmetric(a, v.uplo)
+        prod = full @ b if v.side == "L" else b @ full
+        return alpha * prod + (beta * c if c is not None else 0.0)
+
+    if v.family == "TRMM":
+        op = densify_triangular(a, v.uplo, v.trans)
+        prod = op @ b if v.side == "L" else b @ op
+        return alpha * prod + (beta * c if c is not None else 0.0)
+
+    if v.family == "TRSM":
+        op = densify_triangular(a, v.uplo, v.trans)
+        if v.side == "L":
+            x = np.linalg.solve(op, b)
+        else:
+            x = np.linalg.solve(op.T, b.T).T
+        return alpha * x
+
+    raise ValueError(f"unknown family {v.family!r}")
+
+
+def random_inputs(
+    name: str, sizes: Mapping[str, int], seed: int = 0
+) -> Dict[str, np.ndarray]:
+    """Structured float32 inputs for a variant (stored triangles, zero
+    blanks, boosted diagonals for solves)."""
+    v = parse_variant(name)
+    rng = np.random.default_rng(seed)
+    m, n = sizes["M"], sizes["N"]
+    k = sizes.get("K", n)
+    out: Dict[str, np.ndarray] = {}
+
+    if v.family == "GEMM":
+        a_shape = (m, k) if v.trans_a == "N" else (k, m)
+        b_shape = (k, n) if v.trans_b == "N" else (n, k)
+        out["A"] = rng.standard_normal(a_shape).astype(np.float32)
+        out["B"] = rng.standard_normal(b_shape).astype(np.float32)
+        out["C"] = rng.standard_normal((m, n)).astype(np.float32)
+        return out
+
+    d = m if v.side == "L" else n
+    a = rng.standard_normal((d, d)).astype(np.float32)
+    a = np.tril(a) if v.uplo == "L" else np.triu(a)
+    if v.family == "TRSM":
+        a = a + 4.0 * np.eye(d, dtype=np.float32)
+    out["A"] = a
+    out["B"] = rng.standard_normal((m, n)).astype(np.float32)
+    if v.family != "TRSM":
+        out["C"] = rng.standard_normal((m, n)).astype(np.float32)
+    return out

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``routines``
+    List the 24 BLAS3 variants and their adaptor assignments.
+``adaptors``
+    Print the four built-in ADL adaptor definitions (§IV-A).
+``generate ROUTINE``
+    Compose + search + verify one routine; print the winning EPOD script,
+    tuned parameters and modeled GFLOPS.
+``compare ROUTINE``
+    OA vs CUBLAS 3.2 (and MAGMA v0.2 where it exists) on one platform.
+``cuda ROUTINE``
+    Emit the generated CUDA source for a routine.
+``candidates ROUTINE``
+    Show the composer's candidate scripts for a routine.
+
+All commands take ``--arch {geforce9800,gtx285,fermi}`` (default gtx285)
+and ``-n`` for the problem size (default 4096).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .adl.builtin import BUILTIN_ADAPTORS
+from .baselines.cublas import cublas_gflops
+from .baselines.magma import magma_gflops, magma_supports
+from .blas3.naming import ALL_VARIANTS
+from .blas3.routines import get_spec
+from .gpu.arch import PLATFORMS
+from .oa import OAFramework
+from .reporting.format import ascii_table
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--arch",
+        choices=sorted(PLATFORMS),
+        default="gtx285",
+        help="target GPU platform (default: gtx285)",
+    )
+    parser.add_argument(
+        "-n", type=int, default=4096, help="problem size (default: 4096)"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OA framework — automatic BLAS3 library generation "
+        "(IPPS 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("routines", help="list the 24 BLAS3 variants")
+    sub.add_parser("adaptors", help="print the built-in ADL adaptors")
+
+    for name, help_text in (
+        ("generate", "tune one routine and print its winning script"),
+        ("compare", "OA vs CUBLAS 3.2 / MAGMA v0.2 for one routine"),
+        ("cuda", "emit the generated CUDA source"),
+        ("candidates", "show the composer's candidate scripts"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("routine", help="variant name, e.g. SYMM-LL or TRSM-LL-N")
+        _add_common(p)
+    return parser
+
+
+def _cmd_routines() -> int:
+    rows = []
+    for v in ALL_VARIANTS:
+        spec = get_spec(v.name)
+        adaptors = ", ".join(f"{a}({o})" for a, o in spec.adaptations) or "-"
+        rows.append((v.name, v.family, adaptors))
+    print(ascii_table(["variant", "family", "adaptors"], rows))
+    return 0
+
+
+def _cmd_adaptors() -> int:
+    for adaptor in BUILTIN_ADAPTORS.values():
+        print(adaptor.render())
+        print()
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    oa = OAFramework(PLATFORMS[args.arch])
+    tuned = oa.generate(args.routine)
+    print(f"// {tuned.name} on {oa.arch.name}")
+    print(f"// tuned parameters: {tuned.config}")
+    print(f"// modeled: {tuned.gflops(args.n):.0f} GFLOPS at N={args.n}")
+    if tuned.conditions:
+        conds = ", ".join(str(c) for c in tuned.conditions)
+        print(f"// conditioned on {conds} (runtime check_blank_zero dispatch)")
+    print(tuned.script.script.render())
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    arch = PLATFORMS[args.arch]
+    oa = OAFramework(arch)
+    oa_g = oa.gflops(args.routine, args.n)
+    cu_g = cublas_gflops(args.routine, arch, args.n)
+    rows = [
+        ("OA (this work)", f"{oa_g:.0f}", "1.00x"),
+        ("CUBLAS 3.2", f"{cu_g:.0f}", f"{oa_g / cu_g:.2f}x slower" if cu_g else "-"),
+    ]
+    if magma_supports(args.routine, arch):
+        ma_g = magma_gflops(args.routine, arch, args.n)
+        rows.append(("MAGMA v0.2", f"{ma_g:.0f}", f"{oa_g / ma_g:.2f}x slower"))
+    print(
+        ascii_table(
+            ["library", "GFLOPS", "vs OA"],
+            rows,
+            title=f"{args.routine} on {arch.name}, N={args.n}",
+        )
+    )
+    return 0
+
+
+def _cmd_cuda(args) -> int:
+    oa = OAFramework(PLATFORMS[args.arch])
+    print(oa.cuda(args.routine))
+    return 0
+
+
+def _cmd_candidates(args) -> int:
+    oa = OAFramework(PLATFORMS[args.arch])
+    for candidate in oa.candidates(args.routine):
+        print(candidate.render())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "routines":
+        return _cmd_routines()
+    if args.command == "adaptors":
+        return _cmd_adaptors()
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "cuda":
+        return _cmd_cuda(args)
+    if args.command == "candidates":
+        return _cmd_candidates(args)
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Code generation: kernel analysis for the performance model + CUDA emission."""
+
+from .analysis import (
+    AccessModel,
+    KernelModel,
+    LARGE_STRIDE,
+    PhaseModel,
+    analyze_computation,
+    analyze_stage,
+)
+from .cuda import CudaEmitter, emit_cuda, emit_kernel
+
+__all__ = [
+    "AccessModel",
+    "CudaEmitter",
+    "KernelModel",
+    "LARGE_STRIDE",
+    "PhaseModel",
+    "analyze_computation",
+    "analyze_stage",
+    "emit_cuda",
+    "emit_kernel",
+]

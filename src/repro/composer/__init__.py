@@ -1,0 +1,30 @@
+"""The Composer (paper §IV-B): splitter, mixer, filter, allocator, generator."""
+
+from .allocator import allocate, compose_modes
+from .compose import ComposeOutcome, Composer, compose_candidates
+from .filterer import FilteredCandidate, FilterReport, filter_candidates
+from .generator import ComposedScript, generate
+from .mixer import interleavings, mix, satisfies_location_constraints
+from .oracle import check_equivalence, make_inputs, oracle_sizes, output_arrays
+from .splitter import split
+
+__all__ = [
+    "ComposeOutcome",
+    "ComposedScript",
+    "Composer",
+    "FilterReport",
+    "FilteredCandidate",
+    "allocate",
+    "check_equivalence",
+    "compose_candidates",
+    "compose_modes",
+    "filter_candidates",
+    "generate",
+    "interleavings",
+    "make_inputs",
+    "mix",
+    "oracle_sizes",
+    "output_arrays",
+    "satisfies_location_constraints",
+    "split",
+]

@@ -1,0 +1,60 @@
+"""Allocator: integrate the memory-allocation declarations (§IV-B.3).
+
+The allocator merges the ``SM_alloc`` / ``Reg_alloc`` invocations of the
+base script with those contributed by adaptor rules and "determines the
+final memory allocation scheme".  The paper's worked example: for
+``C = αA·Bᵀ + βC`` both the script and the adaptor declare
+``SM_alloc(B, Transpose)``; the allocator composes the two transpositions
+into one ``SM_alloc(B, NoChange)``.
+
+Mode composition is the transposition parity: each ``Transpose`` flips,
+``NoChange`` is identity, ``Symmetry`` is terminal (a symmetric tile
+cannot be composed with a transposition — symmetric data is its own
+transpose, so ``Symmetry`` absorbs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..epod.script import Invocation
+
+__all__ = ["allocate", "compose_modes"]
+
+
+def compose_modes(modes: Sequence[str]) -> str:
+    """Fold a list of allocation modes for one array into one."""
+    if "Symmetry" in modes:
+        return "Symmetry"
+    flips = sum(1 for m in modes if m == "Transpose")
+    return "Transpose" if flips % 2 == 1 else "NoChange"
+
+
+def allocate(
+    base: Iterable[Invocation], extra: Iterable[Invocation]
+) -> Tuple[Invocation, ...]:
+    """Merge traditional-pool invocations into the final allocation scheme."""
+    sm_order: List[str] = []
+    sm_modes: dict = {}
+    reg_order: List[str] = []
+    others: List[Invocation] = []
+    for inv in list(base) + list(extra):
+        if inv.component == "SM_alloc":
+            array, mode = inv.args
+            if array not in sm_modes:
+                sm_order.append(array)
+                sm_modes[array] = []
+            sm_modes[array].append(mode)
+        elif inv.component == "Reg_alloc":
+            array = inv.args[0]
+            if array not in reg_order:
+                reg_order.append(array)
+        else:
+            others.append(inv)
+    out: List[Invocation] = []
+    for array in sm_order:
+        out.append(Invocation("SM_alloc", (array, compose_modes(sm_modes[array]))))
+    out.extend(others)
+    for array in reg_order:
+        out.append(Invocation("Reg_alloc", (array,)))
+    return tuple(out)

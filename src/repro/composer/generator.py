@@ -1,0 +1,43 @@
+"""Generator: emit the composed EPOD scripts (§IV-B, Fig. 8 last stage).
+
+Merges a legal polyhedral sequence with the allocator's memory scheme and
+packages the result — plus any rule conditions for multi-versioned code —
+as a new named :class:`~repro.epod.script.EpodScript`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..adl.adaptor import Condition
+from ..epod.script import EpodScript, Invocation
+
+__all__ = ["ComposedScript", "generate"]
+
+
+@dataclass(frozen=True)
+class ComposedScript:
+    """A candidate optimization scheme produced by the composer."""
+
+    script: EpodScript
+    conditions: Tuple[Condition, ...] = ()
+    provenance: str = ""
+
+    def render(self) -> str:
+        head = f"// {self.provenance}" if self.provenance else ""
+        conds = "".join(f"\n// requires {c}" for c in self.conditions)
+        body = self.script.render()
+        return "\n".join(p for p in (head + conds, body) if p)
+
+
+def generate(
+    poly: Sequence[Invocation],
+    trad: Sequence[Invocation],
+    conditions: Sequence[Optional[Condition]],
+    name: str,
+    provenance: str = "",
+) -> ComposedScript:
+    script = EpodScript(list(poly) + list(trad), name=name)
+    conds = tuple(c for c in conditions if c is not None)
+    return ComposedScript(script, conds, provenance)

@@ -1,0 +1,54 @@
+"""Mixer: order-preserving interleavings of two polyhedral sequences.
+
+Fig. 9: "The mixer interleaves components from A and B together.
+Meanwhile, the order of components from the same sequence is strictly
+kept.  Then the mixer checks location constraints for each component and
+generates the mixed transformation sequence if the constraints are
+satisfied" — e.g. ``GM_map`` must come first, so no interleaving that
+pushes it later is emitted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..epod.script import Invocation
+from ..transforms.registry import get_transform
+from ..transforms.base import LOC_FIRST
+
+__all__ = ["interleavings", "satisfies_location_constraints", "mix"]
+
+
+def interleavings(
+    seq_a: Sequence[Invocation], seq_b: Sequence[Invocation]
+) -> List[Tuple[Invocation, ...]]:
+    """All order-preserving interleavings of the two sequences."""
+    out: List[Tuple[Invocation, ...]] = []
+
+    def rec(prefix: Tuple[Invocation, ...], a: Tuple[Invocation, ...], b: Tuple[Invocation, ...]):
+        if not a and not b:
+            out.append(prefix)
+            return
+        if a:
+            rec(prefix + (a[0],), a[1:], b)
+        if b:
+            rec(prefix + (b[0],), a, b[1:])
+
+    rec((), tuple(seq_a), tuple(seq_b))
+    return out
+
+
+def satisfies_location_constraints(seq: Sequence[Invocation]) -> bool:
+    """Check per-component location constraints (GM_map fixed first)."""
+    for idx, inv in enumerate(seq):
+        transform = get_transform(inv.component)
+        if transform.location == LOC_FIRST and idx != 0:
+            return False
+    return True
+
+
+def mix(
+    seq_a: Sequence[Invocation], seq_b: Sequence[Invocation]
+) -> List[Tuple[Invocation, ...]]:
+    """Interleave and drop interleavings violating location constraints."""
+    return [s for s in interleavings(seq_a, seq_b) if satisfies_location_constraints(s)]

@@ -1,0 +1,27 @@
+"""Splitter: route invocations to the polyhedral / traditional pools.
+
+First stage of the composer workflow (Fig. 8): "The splitter splits an
+optimization sequence into a polyhedral part and a traditional part, which
+are fed to the mixer and allocator, respectively."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..epod.script import Invocation
+from ..transforms.registry import POOL_POLYHEDRAL, pool_of
+
+__all__ = ["split"]
+
+
+def split(invocations: Iterable[Invocation]) -> Tuple[Tuple[Invocation, ...], Tuple[Invocation, ...]]:
+    """Partition invocations into (polyhedral, traditional), order kept."""
+    poly: List[Invocation] = []
+    trad: List[Invocation] = []
+    for inv in invocations:
+        if pool_of(inv.component) == POOL_POLYHEDRAL:
+            poly.append(inv)
+        else:
+            trad.append(inv)
+    return tuple(poly), tuple(trad)

@@ -1,0 +1,14 @@
+"""EPOD scripts: encapsulated optimization schemes (paper §III)."""
+
+from .script import EpodScript, Invocation, ScriptError, parse_script
+from .translator import EpodTranslator, TranslationResult, translate
+
+__all__ = [
+    "EpodScript",
+    "EpodTranslator",
+    "Invocation",
+    "ScriptError",
+    "TranslationResult",
+    "parse_script",
+    "translate",
+]

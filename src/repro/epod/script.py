@@ -1,0 +1,140 @@
+"""EPOD script object model and textual parser.
+
+An EPOD script is an ordered list of optimization-component invocations,
+written exactly the way the paper prints them (Fig. 3 / Fig. 14)::
+
+    (Lii, Ljj) = thread_grouping((Li, Lj));
+    (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+    loop_unroll(Ljjj, Lkkk);
+    SM_alloc(B, Transpose);
+    Reg_alloc(C);
+
+Invocations may bind output labels (tuple assignment); later invocations
+refer to those names.  Everything else — loop labels from the labeled
+source, array names, allocation modes, integers — is a literal token.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Invocation", "EpodScript", "parse_script", "ScriptError"]
+
+
+class ScriptError(ValueError):
+    """Malformed EPOD script text or inconsistent bindings."""
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One component invocation: ``(out1, out2) = component(arg1, arg2)``."""
+
+    component: str
+    args: Tuple[str, ...]
+    outputs: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        call = f"{self.component}({', '.join(self.args)});"
+        if self.outputs:
+            return f"({', '.join(self.outputs)}) = {call}"
+        return call
+
+    def key(self) -> Tuple[str, Tuple[str, ...]]:
+        """Identity used for degenerate-sequence deduplication."""
+        return (self.component, self.args)
+
+
+@dataclass
+class EpodScript:
+    """An ordered optimization scheme for one routine."""
+
+    invocations: List[Invocation] = field(default_factory=list)
+    name: str = ""
+
+    def __iter__(self):
+        return iter(self.invocations)
+
+    def __len__(self):
+        return len(self.invocations)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, EpodScript)
+            and [i.key() for i in self.invocations] == [i.key() for i in other.invocations]
+        )
+
+    def __hash__(self):
+        return hash(tuple(i.key() for i in self.invocations))
+
+    def components(self) -> List[str]:
+        return [inv.component for inv in self.invocations]
+
+    def append(self, inv: Invocation) -> None:
+        self.invocations.append(inv)
+
+    def render(self) -> str:
+        return "\n".join(inv.render() for inv in self.invocations)
+
+    def key(self) -> Tuple:
+        return tuple(i.key() for i in self.invocations)
+
+    def with_name(self, name: str) -> "EpodScript":
+        return EpodScript(list(self.invocations), name)
+
+
+_INVOCATION_RE = re.compile(
+    r"""
+    ^\s*
+    (?:\(\s*(?P<outs>[^)]*)\)\s*=\s*)?          # optional (o1, o2) =
+    (?P<name>[A-Za-z_]\w*)\s*
+    \(\s*(?P<args>.*)\)\s*
+    ;?\s*$
+    """,
+    re.VERBOSE,
+)
+
+
+def _split_args(text: str) -> Tuple[str, ...]:
+    """Split a comma-separated argument list, unwrapping one level of
+    parentheses (the paper writes ``thread_grouping((Li, Lj))``)."""
+    text = text.strip()
+    if not text:
+        return ()
+    if text.startswith("(") and text.endswith(")"):
+        text = text[1:-1]
+    parts = [p.strip() for p in text.split(",")]
+    if any(not p for p in parts):
+        raise ScriptError(f"empty argument in {text!r}")
+    for p in parts:
+        if not re.fullmatch(r"[A-Za-z_]\w*|\d+", p):
+            raise ScriptError(f"bad argument token {p!r}")
+    return tuple(parts)
+
+
+def parse_script(text: str, name: str = "") -> EpodScript:
+    """Parse EPOD script text into an :class:`EpodScript`."""
+    script = EpodScript(name=name)
+    bound: set = set()
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        match = _INVOCATION_RE.match(line)
+        if not match:
+            raise ScriptError(f"cannot parse script line: {raw_line!r}")
+        outs_text = match.group("outs")
+        outputs: Tuple[str, ...] = ()
+        if outs_text is not None:
+            outputs = tuple(p.strip() for p in outs_text.split(",") if p.strip())
+            for out in outputs:
+                if not re.fullmatch(r"[A-Za-z_]\w*", out):
+                    raise ScriptError(f"bad output name {out!r}")
+                if out in bound:
+                    raise ScriptError(f"output {out!r} bound twice")
+                bound.add(out)
+        script.append(
+            Invocation(match.group("name"), _split_args(match.group("args")), outputs)
+        )
+    return script

@@ -1,0 +1,107 @@
+"""The EPOD translator: apply a script's optimization scheme to a routine.
+
+Mirrors Fig. 2's flow for our substrate: the labeled source (already parsed
+into the loop-nest IR) is rewritten component by component in script order.
+Each component is resolved from the two pools
+(:mod:`repro.transforms.registry`), its script-level arguments are resolved
+through the label environment built up by earlier tuple-assignments, and
+its result labels are bound for later invocations.
+
+Two failure disciplines:
+
+* ``strict`` — a :class:`TransformFailure` aborts translation (used when a
+  developer runs a hand-written script).
+* ``filter`` — the failing component is *omitted* and translation continues
+  (§IV-B.2: "If a specific constraint for some component is not satisfied,
+  then the corresponding component is omitted"), which is how composed
+  sequences degenerate.  The omitted invocations are reported so the
+  composer can deduplicate degenerate sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.ast import Computation
+from ..ir.validate import validate
+from ..transforms.base import TransformError, TransformFailure
+from ..transforms.registry import get_transform
+from .script import EpodScript, Invocation, ScriptError
+
+__all__ = ["TranslationResult", "translate", "EpodTranslator"]
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of applying a script to a computation."""
+
+    comp: Computation
+    applied: List[Invocation] = field(default_factory=list)
+    omitted: List[Tuple[Invocation, str]] = field(default_factory=list)
+    env: Dict[str, str] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def applied_key(self) -> Tuple:
+        """Identity of the effective (post-degeneration) sequence."""
+        return tuple(inv.key() for inv in self.applied)
+
+
+class EpodTranslator:
+    """Applies EPOD scripts to computations."""
+
+    def __init__(self, params: Optional[Dict[str, int]] = None):
+        self.params = dict(params or {})
+
+    def translate(
+        self,
+        comp: Computation,
+        script: EpodScript,
+        mode: str = "strict",
+        validate_result: bool = True,
+    ) -> TranslationResult:
+        if mode not in ("strict", "filter"):
+            raise ValueError(f"unknown mode {mode!r}")
+        result = TranslationResult(comp=comp.clone())
+        env: Dict[str, str] = result.env
+        for inv in script:
+            transform = get_transform(inv.component)
+            args = tuple(env.get(a, a) for a in inv.args)
+            try:
+                out = transform.apply(result.comp, args, self.params)
+            except TransformFailure as failure:
+                if mode == "strict":
+                    raise
+                result.omitted.append((inv, str(failure)))
+                # Outputs of an omitted component alias its inputs when the
+                # arity matches (the loops were not restructured), so later
+                # invocations can still resolve them.
+                if inv.outputs and len(inv.outputs) == len(args):
+                    for name, value in zip(inv.outputs, args):
+                        env[name] = value
+                continue
+            if inv.outputs:
+                if len(out.labels) != len(inv.outputs):
+                    raise ScriptError(
+                        f"{inv.component} returned {len(out.labels)} labels, "
+                        f"script binds {len(inv.outputs)}"
+                    )
+                for name, label in zip(inv.outputs, out.labels):
+                    env[name] = label
+            result.comp = out.comp
+            result.applied.append(inv)
+            result.notes.extend(f"{inv.component}: {n}" for n in out.notes)
+        if validate_result:
+            validate(result.comp)
+        return result
+
+
+def translate(
+    comp: Computation,
+    script: EpodScript,
+    params: Optional[Dict[str, int]] = None,
+    mode: str = "strict",
+) -> TranslationResult:
+    """Convenience wrapper around :class:`EpodTranslator`."""
+    return EpodTranslator(params).translate(comp, script, mode=mode)

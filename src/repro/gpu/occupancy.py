@@ -1,0 +1,75 @@
+"""CUDA occupancy calculator.
+
+Determines how many thread blocks fit on an SM given the kernel's register
+and shared-memory footprint, and the resulting occupancy (active warps /
+maximum warps).  Used both by the performance model (latency hiding) and
+by the auto-tuner (pruning infeasible tile configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .arch import GPUArch
+
+__all__ = ["Occupancy", "occupancy"]
+
+
+def _round_up(value: int, granularity: int) -> int:
+    return -(-value // granularity) * granularity
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    blocks_per_sm: int
+    active_warps: int
+    occupancy: float
+    limiter: str
+
+    @property
+    def feasible(self) -> bool:
+        return self.blocks_per_sm >= 1
+
+
+def occupancy(
+    arch: GPUArch,
+    threads_per_block: int,
+    regs_per_thread: int,
+    smem_per_block: int,
+) -> Occupancy:
+    """Blocks per SM and occupancy for a kernel configuration.
+
+    Returns ``blocks_per_sm == 0`` (infeasible) when a single block already
+    exceeds a per-SM resource.
+    """
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if threads_per_block > arch.max_threads_per_block:
+        return Occupancy(0, 0, 0.0, "threads per block")
+
+    warps_per_block = _round_up(threads_per_block, arch.warp_size) // arch.warp_size
+
+    limits = {}
+    # Register limit (allocation granularity approximated at warp level).
+    regs_per_block = regs_per_thread * _round_up(threads_per_block, arch.warp_size)
+    limits["registers"] = (
+        arch.regs_per_sm // regs_per_block if regs_per_block else arch.max_blocks_per_sm
+    )
+    # Shared-memory limit (256-byte allocation granularity).
+    smem = _round_up(max(smem_per_block, 1), 256)
+    limits["shared memory"] = arch.smem_per_sm // smem
+    # Thread / warp limit.
+    limits["threads"] = arch.max_threads_per_sm // threads_per_block
+    limits["warps"] = arch.max_warps_per_sm // warps_per_block
+    # Hardware block slots.
+    limits["blocks"] = arch.max_blocks_per_sm
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = max(0, min(limits.values()))
+    active_warps = blocks * warps_per_block
+    return Occupancy(
+        blocks_per_sm=blocks,
+        active_warps=active_warps,
+        occupancy=active_warps / arch.max_warps_per_sm,
+        limiter=limiter,
+    )

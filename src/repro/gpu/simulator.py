@@ -1,0 +1,94 @@
+"""The simulated-GPU substrate: functional execution + analytic profiling.
+
+The paper runs its generated kernels on three real GPUs; this repo has
+none, so :class:`SimulatedGPU` plays that role (see DESIGN.md §2):
+
+* **functional execution** interprets the transformed IR exactly as a
+  grid of blocks × threads would compute it (phases between barriers,
+  register files per thread) — used to assert correctness at small sizes;
+* **analytic profiling** (any size, e.g. the paper's N=4096) runs the
+  static kernel analysis and the coalescing/occupancy/roofline models to
+  produce execution time, GFLOPS and ``cuda_profile``-style counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..codegen.analysis import KernelModel, analyze_computation
+from ..ir.ast import Computation
+from ..ir.interpret import interpret
+from .arch import GPUArch
+from .counters import ProfileCounters, count_profile
+from .timing import LaunchTiming, estimate_time
+
+__all__ = ["RunResult", "SimulatedGPU"]
+
+
+@dataclass
+class RunResult:
+    """Everything one launch produces on the simulated GPU."""
+
+    arch: GPUArch
+    sizes: Dict[str, int]
+    timing: LaunchTiming
+    counters: ProfileCounters
+    models: List[KernelModel]
+    outputs: Optional[Dict[str, np.ndarray]] = None
+    nominal_flops: float = 0.0
+
+    @property
+    def time_s(self) -> float:
+        return self.timing.time_s
+
+    @property
+    def gflops(self) -> float:
+        return self.timing.gflops(self.nominal_flops) if self.nominal_flops else 0.0
+
+    @property
+    def feasible(self) -> bool:
+        return self.timing.feasible
+
+
+class SimulatedGPU:
+    """A GPU platform that executes and profiles transformed computations."""
+
+    def __init__(self, arch: GPUArch):
+        self.arch = arch
+
+    def profile(
+        self,
+        comp: Computation,
+        sizes: Mapping[str, int],
+        nominal_flops: float = 0.0,
+    ) -> RunResult:
+        """Analytic-only run (no data): time, GFLOPS, profile counters."""
+        models = analyze_computation(comp, sizes)
+        timing = estimate_time(self.arch, models)
+        counters = count_profile(self.arch, models)
+        return RunResult(
+            arch=self.arch,
+            sizes=dict(sizes),
+            timing=timing,
+            counters=counters,
+            models=models,
+            nominal_flops=nominal_flops,
+        )
+
+    def run(
+        self,
+        comp: Computation,
+        sizes: Mapping[str, int],
+        inputs: Mapping[str, np.ndarray],
+        scalars: Optional[Mapping[str, float]] = None,
+        flags: Optional[Mapping[str, bool]] = None,
+        nominal_flops: float = 0.0,
+    ) -> RunResult:
+        """Functional execution plus analytic profile."""
+        outputs = interpret(comp, sizes, inputs, scalars=scalars, flags=flags)
+        result = self.profile(comp, sizes, nominal_flops=nominal_flops)
+        result.outputs = outputs
+        return result

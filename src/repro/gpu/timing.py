@@ -1,0 +1,149 @@
+"""Analytic timing model: kernel models + architecture → execution time.
+
+A deliberately simple, documented roofline-style model.  Per kernel:
+
+* **compute time** — warp-instruction issue cycles across the SMs.  A
+  warp instruction occupies an SM for ``warp_size / sps_per_sm`` cycles
+  (4 on G80/GT200, 1 on Fermi's 32-SP SMs).  Phases serialised onto one
+  thread (``binding_triangular``) still issue whole warps, so their
+  instructions are not divided by the warp width.  Shared-memory bank
+  conflicts add replay cycles.
+* **memory time** — effective DRAM bytes (coalescing-adjusted, from
+  :mod:`repro.gpu.counters`) over the board bandwidth.  Low occupancy
+  cannot keep the memory pipeline full: bandwidth scales down below a
+  knee of 50% occupancy (≈ what G80-era latency × bandwidth products
+  demand).
+* compute and memory overlap: kernel time is the max of the two, plus
+  barrier and launch overheads.
+
+Issue efficiency below full occupancy follows the same knee: with too few
+warps an SM cannot cover register read-after-write latency (Volkov's
+observation that ~25% occupancy suffices given enough ILP — our register-
+tiled kernels carry that ILP, modeled via the per-thread work factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..codegen.analysis import KernelModel
+from .arch import GPUArch
+from .counters import bank_conflict_degree, effective_bytes
+from .occupancy import Occupancy, occupancy
+
+__all__ = ["KernelTiming", "LaunchTiming", "estimate_kernel_time", "estimate_time"]
+
+#: occupancy knee under which latency can no longer be hidden
+_OCC_KNEE_MEM = 0.50
+_OCC_KNEE_COMPUTE = 0.25
+#: cycles an SM loses per __syncthreads()
+_BARRIER_CYCLES = 40.0
+#: sustained fraction of peak issue rate for tuned kernels
+_ISSUE_EFFICIENCY = 0.85
+
+
+@dataclass
+class KernelTiming:
+    name: str
+    time_s: float
+    compute_s: float
+    memory_s: float
+    occupancy: Occupancy
+    bytes_moved: float
+    insts: float
+    flops: float
+    bound: str  # "compute" | "memory" | "infeasible"
+
+
+@dataclass
+class LaunchTiming:
+    kernels: List[KernelTiming] = field(default_factory=list)
+
+    @property
+    def time_s(self) -> float:
+        return sum(k.time_s for k in self.kernels)
+
+    @property
+    def feasible(self) -> bool:
+        return all(k.bound != "infeasible" for k in self.kernels)
+
+    def gflops(self, nominal_flops: float) -> float:
+        t = self.time_s
+        return nominal_flops / t / 1e9 if t > 0 else 0.0
+
+
+def estimate_kernel_time(arch: GPUArch, model: KernelModel) -> KernelTiming:
+    occ = occupancy(
+        arch,
+        threads_per_block=max(1, model.threads_per_block),
+        regs_per_thread=model.regs_per_thread,
+        smem_per_block=model.smem_bytes,
+    )
+    if not occ.feasible:
+        return KernelTiming(
+            model.name, float("inf"), float("inf"), float("inf"), occ, 0.0, 0.0, 0.0,
+            "infeasible",
+        )
+
+    # --- compute ---------------------------------------------------------
+    cycles_per_warp_inst = arch.warp_size / arch.sps_per_sm
+    warp_insts = 0.0
+    conflict_extra = 0.0
+    for phase in model.phases:
+        if phase.serial:
+            # One active lane: the warp still occupies issue slots per inst.
+            warp_insts += phase.insts_per_block
+        else:
+            warp_insts += phase.insts_per_block / arch.warp_size
+        for access in phase.accesses:
+            if access.space == "shared":
+                degree = bank_conflict_degree(arch, access.stride_tx)
+                if degree > 1.0:
+                    conflict_extra += (
+                        access.count_per_block / arch.warp_size * (degree - 1.0)
+                    )
+    warp_insts_total = (warp_insts + conflict_extra) * model.grid_blocks
+    issue_eff = _ISSUE_EFFICIENCY * min(1.0, occ.occupancy / _OCC_KNEE_COMPUTE)
+    # A launch smaller than the chip leaves SMs idle.
+    active_sms = min(arch.num_sms, max(1.0, model.grid_blocks))
+    compute_cycles = warp_insts_total / active_sms * cycles_per_warp_inst / max(
+        issue_eff, 1e-3
+    )
+    compute_s = compute_cycles / (arch.clock_ghz * 1e9)
+
+    # --- memory ----------------------------------------------------------
+    bytes_moved = 0.0
+    for access, total in model.accesses():
+        bytes_moved += effective_bytes(arch, access, total)
+    mem_eff = min(1.0, occ.occupancy / _OCC_KNEE_MEM)
+    # Small launches cannot saturate the board either.
+    mem_eff *= min(1.0, active_sms / arch.num_sms)
+    memory_s = bytes_moved / (arch.mem_bandwidth_gbs * 1e9) / max(mem_eff, 1e-3)
+
+    # --- overheads ---------------------------------------------------------
+    barrier_s = (
+        model.barriers_per_block
+        * model.grid_blocks
+        / (arch.num_sms * max(1, occ.blocks_per_sm))
+        * _BARRIER_CYCLES
+        / (arch.clock_ghz * 1e9)
+    )
+
+    time_s = max(compute_s, memory_s) + barrier_s + arch.launch_overhead_s
+    return KernelTiming(
+        name=model.name,
+        time_s=time_s,
+        compute_s=compute_s,
+        memory_s=memory_s,
+        occupancy=occ,
+        bytes_moved=bytes_moved,
+        insts=model.total_insts(),
+        flops=model.total_flops(),
+        bound="compute" if compute_s >= memory_s else "memory",
+    )
+
+
+def estimate_time(arch: GPUArch, models: Sequence[KernelModel]) -> LaunchTiming:
+    """Timing for a launch sequence (remap kernels + compute kernels)."""
+    return LaunchTiming([estimate_kernel_time(arch, m) for m in models])

@@ -1,0 +1,380 @@
+"""Builders and a labeled-source parser for the loop-nest IR.
+
+The paper presents every routine as "labeled source code" (Fig. 3, Fig. 14):
+C loop nests whose ``for`` headers carry labels such as ``Li:`` so EPOD
+scripts can name them.  :func:`parse_labeled_source` accepts exactly that
+notation, e.g.::
+
+    Li: for (i = 0; i < M; i++)
+    Lj:   for (j = 0; j < N; j++)
+    Lk:     for (k = 0; k <= i; k++)
+                C[i][j] += A[i][k] * B[k][j];
+
+Braces are optional when a loop has a single child.  Conditions may use
+``<`` or ``<=`` (the latter is normalised to an exclusive bound).  Subscripts
+and bounds must be affine.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .affine import AffineExpr, aff, const, var
+from .ast import (
+    Array,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Computation,
+    Const,
+    Expr,
+    Loop,
+    Neg,
+    Node,
+    Recip,
+    ScalarRef,
+    Stage,
+)
+
+__all__ = [
+    "loop",
+    "assign",
+    "ref",
+    "scalar",
+    "num",
+    "mul",
+    "add",
+    "sub",
+    "parse_labeled_source",
+    "parse_expr",
+    "parse_affine",
+    "build_computation",
+    "ParseError",
+]
+
+
+# ---------------------------------------------------------------------------
+# Programmatic builders
+# ---------------------------------------------------------------------------
+
+
+def loop(var_name: str, lower, upper, body: Sequence[Node], label: Optional[str] = None) -> Loop:
+    return Loop(var_name, lower, upper, body, label=label)
+
+
+def ref(array: str, *indices) -> ArrayRef:
+    return ArrayRef(array, indices)
+
+
+def scalar(name: str) -> ScalarRef:
+    return ScalarRef(name)
+
+
+def num(value: float) -> Const:
+    return Const(value)
+
+
+def mul(left: Expr, right: Expr) -> BinOp:
+    return BinOp("*", left, right)
+
+
+def add(left: Expr, right: Expr) -> BinOp:
+    return BinOp("+", left, right)
+
+
+def sub(left: Expr, right: Expr) -> BinOp:
+    return BinOp("-", left, right)
+
+
+def assign(target: ArrayRef, expr: Expr, op: str = "=", label: Optional[str] = None) -> Assign:
+    return Assign(target, expr, op, label)
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+
+class ParseError(ValueError):
+    """Raised for malformed labeled source."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*)
+  | (?P<num>\d+\.\d+|\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op>\+\+|\+=|-=|<=|>=|==|[-+*/%<>=;:,(){}\[\]])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, ahead: int = 0) -> Optional[str]:
+        idx = self.pos + ahead
+        return self.tokens[idx] if idx < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, expected: str) -> str:
+        tok = self.next()
+        if tok != expected:
+            raise ParseError(f"expected {expected!r}, got {tok!r} (at token {self.pos - 1})")
+        return tok
+
+    def accept(self, expected: str) -> bool:
+        if self.peek() == expected:
+            self.pos += 1
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+# ---------------------------------------------------------------------------
+# Affine sub-parser (bounds and subscripts)
+# ---------------------------------------------------------------------------
+
+
+def _parse_affine_stream(ts: _TokenStream) -> AffineExpr:
+    expr = _parse_affine_term(ts)
+    while ts.peek() in ("+", "-"):
+        op = ts.next()
+        term = _parse_affine_term(ts)
+        expr = expr + term if op == "+" else expr - term
+    return expr
+
+
+def _parse_affine_term(ts: _TokenStream) -> AffineExpr:
+    negate = False
+    while ts.peek() in ("+", "-"):
+        if ts.next() == "-":
+            negate = not negate
+    tok = ts.next()
+    if tok == "(":
+        inner = _parse_affine_stream(ts)
+        ts.expect(")")
+        term = inner
+    elif tok.isdigit():
+        value = int(tok)
+        if ts.accept("*"):
+            name = ts.next()
+            if not re.fullmatch(r"[A-Za-z_]\w*", name):
+                raise ParseError(f"expected variable after '*', got {name!r}")
+            term = var(name) * value
+        else:
+            term = const(value)
+    elif re.fullmatch(r"[A-Za-z_]\w*", tok):
+        term = var(tok)
+        if ts.accept("*"):
+            coeff = ts.next()
+            if not coeff.isdigit():
+                raise ParseError(f"non-affine product {tok}*{coeff}")
+            term = term * int(coeff)
+    else:
+        raise ParseError(f"cannot parse affine term starting with {tok!r}")
+    return -term if negate else term
+
+
+def parse_affine(text: str) -> AffineExpr:
+    ts = _TokenStream(_tokenize(text))
+    expr = _parse_affine_stream(ts)
+    if not ts.exhausted:
+        raise ParseError(f"trailing tokens after affine expression: {ts.tokens[ts.pos:]}")
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# Expression sub-parser (statement right-hand sides)
+# ---------------------------------------------------------------------------
+
+
+def _parse_primary(ts: _TokenStream, known_arrays: Optional[set]) -> Expr:
+    tok = ts.next()
+    if tok == "(":
+        inner = _parse_addsub(ts, known_arrays)
+        ts.expect(")")
+        return inner
+    if tok == "-":
+        return Neg(_parse_primary(ts, known_arrays))
+    if re.fullmatch(r"\d+\.\d+|\d+", tok):
+        return Const(float(tok))
+    if re.fullmatch(r"[A-Za-z_]\w*", tok):
+        if ts.peek() == "[":
+            indices = []
+            while ts.accept("["):
+                indices.append(_parse_affine_stream(ts))
+                ts.expect("]")
+            return ArrayRef(tok, indices)
+        if known_arrays is not None and tok in known_arrays:
+            raise ParseError(f"array {tok!r} used without subscripts")
+        return ScalarRef(tok)
+    raise ParseError(f"cannot parse expression starting with {tok!r}")
+
+
+def _parse_muldiv(ts: _TokenStream, known_arrays: Optional[set]) -> Expr:
+    expr = _parse_primary(ts, known_arrays)
+    while ts.peek() in ("*", "/"):
+        op = ts.next()
+        rhs = _parse_primary(ts, known_arrays)
+        if op == "/" and isinstance(expr, Const) and expr.value == 1.0:
+            expr = Recip(rhs)
+        else:
+            expr = BinOp(op, expr, rhs)
+    return expr
+
+
+def _parse_addsub(ts: _TokenStream, known_arrays: Optional[set]) -> Expr:
+    expr = _parse_muldiv(ts, known_arrays)
+    while ts.peek() in ("+", "-"):
+        op = ts.next()
+        expr = BinOp(op, expr, _parse_muldiv(ts, known_arrays))
+    return expr
+
+
+def parse_expr(text: str, known_arrays: Optional[set] = None) -> Expr:
+    ts = _TokenStream(_tokenize(text))
+    expr = _parse_addsub(ts, known_arrays)
+    if not ts.exhausted:
+        raise ParseError(f"trailing tokens after expression: {ts.tokens[ts.pos:]}")
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# Labeled-source parser
+# ---------------------------------------------------------------------------
+
+
+def _parse_statement(ts: _TokenStream) -> Assign:
+    name = ts.next()
+    if not re.fullmatch(r"[A-Za-z_]\w*", name):
+        raise ParseError(f"expected array name, got {name!r}")
+    indices = []
+    while ts.accept("["):
+        indices.append(_parse_affine_stream(ts))
+        ts.expect("]")
+    if not indices:
+        raise ParseError(f"statement target {name!r} must be an array reference")
+    target = ArrayRef(name, indices)
+    op = ts.next()
+    if op not in ("=", "+=", "-="):
+        raise ParseError(f"expected assignment operator, got {op!r}")
+    expr = _parse_addsub(ts, None)
+    ts.expect(";")
+    return Assign(target, expr, op)
+
+
+def _parse_for(ts: _TokenStream, label: Optional[str]) -> Loop:
+    ts.expect("for")
+    ts.expect("(")
+    var_name = ts.next()
+    ts.expect("=")
+    lower = _parse_affine_stream(ts)
+    ts.expect(";")
+    cond_var = ts.next()
+    if cond_var != var_name:
+        raise ParseError(f"loop condition tests {cond_var!r}, expected {var_name!r}")
+    cmp_op = ts.next()
+    if cmp_op not in ("<", "<="):
+        raise ParseError(f"unsupported loop condition operator {cmp_op!r}")
+    upper = _parse_affine_stream(ts)
+    if cmp_op == "<=":
+        upper = upper + 1
+    ts.expect(";")
+    # increment: `i++` or `i += c`
+    inc_var = ts.next()
+    if inc_var != var_name:
+        raise ParseError(f"loop increments {inc_var!r}, expected {var_name!r}")
+    step = 1
+    tok = ts.next()
+    if tok == "+=":
+        step_tok = ts.next()
+        if not step_tok.isdigit():
+            raise ParseError(f"non-constant loop step {step_tok!r}")
+        step = int(step_tok)
+    elif tok != "++":
+        raise ParseError(f"unsupported loop increment {tok!r}")
+    ts.expect(")")
+    body = _parse_block_or_single(ts)
+    return Loop(var_name, lower, upper, body, label=label, step=step)
+
+
+def _parse_block_or_single(ts: _TokenStream) -> List[Node]:
+    if ts.accept("{"):
+        body: List[Node] = []
+        while not ts.accept("}"):
+            body.append(_parse_node(ts))
+        return body
+    return [_parse_node(ts)]
+
+
+def _parse_node(ts: _TokenStream) -> Node:
+    label: Optional[str] = None
+    if (
+        ts.peek() is not None
+        and re.fullmatch(r"[A-Za-z_]\w*", ts.peek() or "")
+        and ts.peek(1) == ":"
+    ):
+        label = ts.next()
+        ts.expect(":")
+    if ts.peek() == "for":
+        return _parse_for(ts, label)
+    stmt = _parse_statement(ts)
+    stmt.label = label
+    return stmt
+
+
+def parse_labeled_source(text: str) -> List[Node]:
+    """Parse labeled C-like source into a list of IR nodes."""
+    ts = _TokenStream(_tokenize(text))
+    nodes: List[Node] = []
+    while not ts.exhausted:
+        nodes.append(_parse_node(ts))
+    return nodes
+
+
+def build_computation(
+    name: str,
+    source: str,
+    arrays: Sequence[Array],
+    scalars: Tuple[str, ...] = ("alpha", "beta"),
+    dim_symbols: Tuple[str, ...] = ("M", "N", "K"),
+) -> Computation:
+    """Parse labeled source and wrap it into a single-stage computation."""
+    body = parse_labeled_source(source)
+    comp = Computation(
+        name,
+        {a.name: a for a in arrays},
+        [Stage(name=f"{name}_main", body=body, role="compute")],
+        scalars=scalars,
+        dim_symbols=dim_symbols,
+    )
+    return comp

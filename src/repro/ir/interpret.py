@@ -1,0 +1,190 @@
+"""Sequential reference interpreter for the loop-nest IR.
+
+This executes a :class:`~repro.ir.ast.Computation` on NumPy arrays exactly
+as written — mapped loops run as ordinary sequential loops, barriers are
+no-ops — providing the functional oracle used by:
+
+* transformation tests ("tiling/fission/fusion preserve semantics"),
+* the composer's filter (a composed script is legal only if the transformed
+  nest still computes the original answer), and
+* validation of the GPU simulator's own per-thread execution.
+
+The GPU simulator in :mod:`repro.gpu.simulator` executes the same IR with
+grid/block semantics; both must agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .affine import Bound
+from .ast import (
+    Array,
+    ArrayRef,
+    Assign,
+    Barrier,
+    BinOp,
+    Cmp,
+    And,
+    Computation,
+    Const,
+    Expr,
+    Flag,
+    Guard,
+    Loop,
+    Neg,
+    Node,
+    Predicate,
+    Recip,
+    ScalarRef,
+    Stage,
+)
+
+__all__ = ["interpret", "allocate_arrays", "evaluate_expr"]
+
+
+_DTYPES = {"float32": np.float32, "float64": np.float64}
+
+
+def allocate_arrays(
+    comp: Computation,
+    sizes: Mapping[str, int],
+    inputs: Optional[Mapping[str, np.ndarray]] = None,
+) -> Dict[str, np.ndarray]:
+    """Allocate every declared array; copy in provided inputs.
+
+    Derived arrays (shared tiles, register tiles, GM_map targets) are
+    zero-initialised.  Input arrays are copied so callers keep their data.
+    """
+    buffers: Dict[str, np.ndarray] = {}
+    inputs = inputs or {}
+    for name, array in comp.arrays.items():
+        shape = tuple(d.evaluate(sizes) for d in array.dims)
+        dtype = _DTYPES[array.dtype]
+        if name in inputs:
+            given = np.asarray(inputs[name], dtype=dtype)
+            if given.shape != shape:
+                raise ValueError(
+                    f"input {name!r} has shape {given.shape}, expected {shape}"
+                )
+            buffers[name] = given.copy()
+        else:
+            buffers[name] = np.zeros(shape, dtype=dtype)
+    return buffers
+
+
+def evaluate_expr(
+    expr: Expr,
+    env: Mapping[str, int],
+    buffers: Mapping[str, np.ndarray],
+    scalars: Mapping[str, float],
+):
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, ScalarRef):
+        try:
+            return scalars[expr.name]
+        except KeyError:
+            raise KeyError(f"unbound scalar {expr.name!r}") from None
+    if isinstance(expr, ArrayRef):
+        idx = tuple(i.evaluate(env) for i in expr.indices)
+        return buffers[expr.array][idx]
+    if isinstance(expr, BinOp):
+        left = evaluate_expr(expr.left, env, buffers, scalars)
+        right = evaluate_expr(expr.right, env, buffers, scalars)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        return left / right
+    if isinstance(expr, Neg):
+        return -evaluate_expr(expr.operand, env, buffers, scalars)
+    if isinstance(expr, Recip):
+        return 1.0 / evaluate_expr(expr.operand, env, buffers, scalars)
+    raise TypeError(f"cannot evaluate {expr!r}")
+
+
+def _eval_predicate(
+    pred: Predicate, env: Mapping[str, int], flags: Mapping[str, bool]
+) -> bool:
+    if isinstance(pred, Cmp):
+        return pred.evaluate(env)
+    if isinstance(pred, And):
+        return all(_eval_predicate(p, env, flags) for p in pred.operands)
+    if isinstance(pred, Flag):
+        return bool(flags.get(pred.name, False))
+    raise TypeError(f"cannot evaluate predicate {pred!r}")
+
+
+def _execute(
+    body: Sequence[Node],
+    env: Dict[str, int],
+    buffers: Dict[str, np.ndarray],
+    scalars: Mapping[str, float],
+    flags: Mapping[str, bool],
+    thread_order: str = "asc",
+) -> None:
+    for node in body:
+        if isinstance(node, Assign):
+            idx = tuple(i.evaluate(env) for i in node.target.indices)
+            value = evaluate_expr(node.expr, env, buffers, scalars)
+            buf = buffers[node.target.array]
+            if node.op == "=":
+                buf[idx] = value
+            elif node.op == "+=":
+                buf[idx] += value
+            else:
+                buf[idx] -= value
+        elif isinstance(node, Loop):
+            lo = node.lower.evaluate(env)
+            hi = node.upper.evaluate(env)
+            values = range(lo, hi, node.step)
+            from .ast import THREAD_DIMS
+
+            if thread_order == "desc" and node.mapped_to in THREAD_DIMS:
+                values = reversed(values)
+            for value in values:
+                env[node.var] = value
+                _execute(node.body, env, buffers, scalars, flags, thread_order)
+            env.pop(node.var, None)
+        elif isinstance(node, Guard):
+            if _eval_predicate(node.cond, env, flags):
+                _execute(node.body, env, buffers, scalars, flags, thread_order)
+            else:
+                _execute(node.else_body, env, buffers, scalars, flags, thread_order)
+        elif isinstance(node, Barrier):
+            continue
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot execute node {node!r}")
+
+
+def interpret(
+    comp: Computation,
+    sizes: Mapping[str, int],
+    inputs: Mapping[str, np.ndarray],
+    scalars: Optional[Mapping[str, float]] = None,
+    flags: Optional[Mapping[str, bool]] = None,
+    thread_order: str = "asc",
+) -> Dict[str, np.ndarray]:
+    """Run all stages of ``comp`` sequentially; return the buffer dict.
+
+    ``thread_order="desc"`` enumerates thread-mapped loops in reverse — a
+    cheap data-race probe: a kernel whose result depends on intra-phase
+    thread ordering is not valid GPU code (the composer's filter compares
+    both orders).
+    """
+    scalars = dict(scalars or {})
+    for name in comp.scalars:
+        scalars.setdefault(name, 1.0)
+    merged_flags = dict(comp.flags)
+    if flags:
+        merged_flags.update(flags)
+    buffers = allocate_arrays(comp, sizes, inputs)
+    env: Dict[str, int] = dict(sizes)
+    for stage in comp.stages:
+        _execute(stage.body, env, buffers, scalars, merged_flags, thread_order)
+    return buffers

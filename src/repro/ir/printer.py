@@ -1,0 +1,129 @@
+"""C-like pretty printer for the loop-nest IR.
+
+Produces the "labeled source code" notation used throughout the paper
+(Fig. 3, Fig. 14): loop labels in front of ``for`` headers, BLAS-style
+bracketed subscripts, ``min``/``max`` bounds spelled out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .affine import AffineExpr, MaxExpr, MinExpr
+from .ast import (
+    ArrayRef,
+    Assign,
+    Barrier,
+    BinOp,
+    Computation,
+    Const,
+    Expr,
+    Guard,
+    Loop,
+    Neg,
+    Node,
+    Recip,
+    ScalarRef,
+    Stage,
+)
+
+__all__ = ["print_expr", "print_stmt", "print_body", "print_stage", "print_computation"]
+
+_INDENT = "    "
+
+
+def print_bound(bound) -> str:
+    if isinstance(bound, (MinExpr, MaxExpr)):
+        return str(bound)
+    return str(bound)
+
+
+def print_expr(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        value = expr.value
+        return str(int(value)) if value == int(value) else repr(value)
+    if isinstance(expr, ScalarRef):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return expr.array + "".join(f"[{i}]" for i in expr.indices)
+    if isinstance(expr, BinOp):
+        return f"({print_expr(expr.left)} {expr.op} {print_expr(expr.right)})"
+    if isinstance(expr, Neg):
+        return f"(-{print_expr(expr.operand)})"
+    if isinstance(expr, Recip):
+        return f"(1.0f / {print_expr(expr.operand)})"
+    raise TypeError(f"cannot print {expr!r}")
+
+
+def print_stmt(stmt: Assign) -> str:
+    return f"{print_expr(stmt.target)} {stmt.op} {print_expr(stmt.expr)};"
+
+
+def _loop_header(loop: Loop) -> str:
+    step = f"{loop.var} += {loop.step}" if loop.step != 1 else f"{loop.var}++"
+    header = (
+        f"for ({loop.var} = {print_bound(loop.lower)}; "
+        f"{loop.var} < {print_bound(loop.upper)}; {step})"
+    )
+    tags = []
+    if loop.mapped_to:
+        tags.append(f"mapped:{loop.mapped_to}")
+    if loop.unroll > 1:
+        tags.append(f"unroll:{loop.unroll}")
+    if tags:
+        header += "  /* " + ", ".join(tags) + " */"
+    return header
+
+
+def _print_node(node: Node, depth: int, lines: List[str]) -> None:
+    pad = _INDENT * depth
+    if isinstance(node, Assign):
+        lines.append(pad + print_stmt(node))
+    elif isinstance(node, Loop):
+        lines.append(f"{node.label}: ".rjust(0) + pad + _loop_header(node) + " {")
+        for child in node.body:
+            _print_node(child, depth + 1, lines)
+        lines.append(pad + "}")
+    elif isinstance(node, Guard):
+        note = f"  /* {node.note} */" if node.note else ""
+        lines.append(pad + f"if ({node.cond!r}) {{{note}")
+        for child in node.body:
+            _print_node(child, depth + 1, lines)
+        if node.else_body:
+            lines.append(pad + "} else {")
+            for child in node.else_body:
+                _print_node(child, depth + 1, lines)
+        lines.append(pad + "}")
+    elif isinstance(node, Barrier):
+        lines.append(pad + "__syncthreads();")
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot print node {node!r}")
+
+
+def print_body(body: Sequence[Node]) -> str:
+    lines: List[str] = []
+    for node in body:
+        _print_node(node, 0, lines)
+    return "\n".join(lines)
+
+
+def print_stage(stage: Stage) -> str:
+    header = f"// stage {stage.name} ({stage.role})"
+    return header + "\n" + print_body(stage.body)
+
+
+def print_computation(comp: Computation) -> str:
+    lines = [f"// computation {comp.name}"]
+    for array in comp.arrays.values():
+        dims = " x ".join(str(d) for d in array.dims)
+        attrs = [array.storage, array.layout]
+        if array.pad:
+            attrs.append(f"pad+{array.pad}")
+        if array.symmetric:
+            attrs.append(f"symmetric-{array.symmetric}")
+        if array.triangular:
+            attrs.append(f"triangular-{array.triangular}")
+        lines.append(f"// {array.name}: {dims} ({', '.join(attrs)})")
+    for stage in comp.stages:
+        lines.append(print_stage(stage))
+    return "\n".join(lines)

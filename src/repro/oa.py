@@ -1,0 +1,104 @@
+"""OAFramework: the top-level facade of the reproduction.
+
+One object wires the whole pipeline of the paper's Fig. 1 together:
+
+* routine definitions (labeled source + adaptors) from :mod:`repro.blas3`,
+* the composer (mix base GEMM-NN script with the adaptors, filter),
+* the EPOD translator (apply a scheme to the loop nest),
+* the auto-tuner (variant + parameter search on the analytic model),
+* the simulated GPU (functional execution, counters, timing),
+* CUDA source emission.
+
+Typical use::
+
+    from repro import OAFramework, GTX_285
+
+    oa = OAFramework(GTX_285)
+    symm = oa.generate("SYMM-LL")          # compose + search + verify
+    print(symm.script.render())             # the winning EPOD script
+    print(symm.tuned_gflops)                # modeled GFLOPS at N=4096
+
+    lib = oa.library(["GEMM-NN", "SYMM-LL"])
+    c = lib.run("SYMM-LL", A=a, B=b, C=c)   # functional, simulated GPU
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .adl.adaptor import Adaptor
+from .adl.builtin import BUILTIN_ADAPTORS
+from .blas3.naming import ALL_VARIANTS
+from .blas3.routines import get_spec
+from .composer.compose import ComposeOutcome, Composer
+from .composer.generator import ComposedScript
+from .epod.script import EpodScript, parse_script
+from .gpu.arch import GPUArch, GTX_285
+from .gpu.simulator import SimulatedGPU
+from .tuner.library import GeneratedLibrary, LibraryGenerator, TunedRoutine
+from .tuner.space import Config
+
+__all__ = ["OAFramework"]
+
+
+class OAFramework:
+    """Script-controlled compilation framework for BLAS3 on (simulated) GPUs."""
+
+    def __init__(
+        self,
+        arch: GPUArch = GTX_285,
+        tune_size: int = 4096,
+        space: Optional[Sequence[Config]] = None,
+        full_space: bool = False,
+    ):
+        self.arch = arch
+        self.generator = LibraryGenerator(
+            arch, tune_size=tune_size, space=space, full_space=full_space
+        )
+        self.gpu = SimulatedGPU(arch)
+
+    # -- the paper's flow, step by step -----------------------------------
+    def candidates(self, routine: str) -> List[ComposedScript]:
+        """Composer output: the candidate EPOD scripts for a routine."""
+        return self.generator.candidates(routine)
+
+    def compose(self, routine: str) -> ComposeOutcome:
+        """Run the full composer incl. the legality filter (slower)."""
+        from .blas3.routines import build_routine
+
+        spec = get_spec(routine)
+        adaptations = [
+            (BUILTIN_ADAPTORS[a], obj) for a, obj in spec.adaptations
+        ]
+        composer = Composer(params=dict(self.generator.VERIFY_CONFIG))
+        return composer.compose(
+            build_routine(routine), self.generator.base_script_for(spec), adaptations
+        )
+
+    def generate(self, routine: str) -> TunedRoutine:
+        """Compose + search + verify one routine (cached)."""
+        return self.generator.generate(routine)
+
+    def library(self, names: Optional[Sequence[str]] = None) -> GeneratedLibrary:
+        """Generate a full tuned library (all 24 variants by default)."""
+        return self.generator.library(names)
+
+    # -- conveniences -------------------------------------------------------
+    def best_script(self, routine: str) -> str:
+        """Rendered best-performing EPOD script (paper Fig. 14)."""
+        return self.generate(routine).script.script.render()
+
+    def gflops(self, routine: str, n: int = 4096) -> float:
+        return self.generate(routine).gflops(n)
+
+    def cuda(self, routine: str) -> str:
+        return self.generate(routine).cuda_source()
+
+    @staticmethod
+    def adaptors() -> Dict[str, Adaptor]:
+        """The built-in ADL adaptors (paper §IV-A)."""
+        return dict(BUILTIN_ADAPTORS)
+
+    @staticmethod
+    def routines() -> List[str]:
+        return [v.name for v in ALL_VARIANTS]

@@ -1,0 +1,26 @@
+"""Regeneration of the paper's tables and figures (text form)."""
+
+from .data import (
+    PAPER_HEADLINES,
+    SpeedupRow,
+    best_scripts,
+    generator_for,
+    problem_size_series,
+    speedup_rows,
+    symm_profile,
+)
+from .format import ascii_table, bar, bar_chart, series_chart
+
+__all__ = [
+    "PAPER_HEADLINES",
+    "SpeedupRow",
+    "ascii_table",
+    "bar",
+    "bar_chart",
+    "best_scripts",
+    "generator_for",
+    "problem_size_series",
+    "series_chart",
+    "speedup_rows",
+    "symm_profile",
+]

@@ -1,0 +1,118 @@
+"""Data collection for the paper's evaluation (§V): one function per
+table/figure, shared by the benchmark harness and the examples.
+
+A process-wide library cache keeps repeated figure generation cheap: the
+search runs once per (architecture, routine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.cublas import cublas_kernel
+from ..baselines.magma import magma_kernel, magma_supports
+from ..blas3.naming import ALL_VARIANTS
+from ..blas3.routines import get_spec
+from ..gpu.arch import GPUArch
+from ..gpu.counters import ProfileCounters
+from ..tuner.library import LibraryGenerator, TunedRoutine
+
+__all__ = [
+    "generator_for",
+    "SpeedupRow",
+    "speedup_rows",
+    "problem_size_series",
+    "symm_profile",
+    "best_scripts",
+    "PAPER_HEADLINES",
+]
+
+_GENERATORS: Dict[str, LibraryGenerator] = {}
+
+#: §V-A headline numbers from the paper, used as shape references.
+PAPER_HEADLINES = {
+    "GeForce 9800": {"max_speedup": 5.4, "symm_cublas": 42.0, "symm_oa": 225.0},
+    "GTX 285": {"max_speedup": 2.8, "symm_cublas": 155.0, "symm_oa": 403.0,
+                "gemm_cublas": 420.0},
+    "Fermi Tesla C2050": {"max_speedup": 3.4},
+}
+
+
+def generator_for(arch: GPUArch) -> LibraryGenerator:
+    """Process-wide cached generator per architecture."""
+    if arch.name not in _GENERATORS:
+        _GENERATORS[arch.name] = LibraryGenerator(arch)
+    return _GENERATORS[arch.name]
+
+
+@dataclass
+class SpeedupRow:
+    routine: str
+    oa_gflops: float
+    cublas_gflops: float
+    magma_gflops: Optional[float] = None
+
+    @property
+    def speedup(self) -> float:
+        return self.oa_gflops / self.cublas_gflops if self.cublas_gflops else 0.0
+
+    @property
+    def magma_speedup(self) -> Optional[float]:
+        if self.magma_gflops:
+            return self.oa_gflops / self.magma_gflops
+        return None
+
+
+def speedup_rows(
+    arch: GPUArch,
+    n: int = 4096,
+    names: Optional[Sequence[str]] = None,
+    include_magma: bool = False,
+) -> List[SpeedupRow]:
+    """Fig. 10/11/12 data: OA vs CUBLAS (vs MAGMA) for the 24 variants."""
+    gen = generator_for(arch)
+    rows = []
+    for name in names or [v.name for v in ALL_VARIANTS]:
+        tuned = gen.generate(name)
+        row = SpeedupRow(
+            routine=name,
+            oa_gflops=tuned.gflops(n),
+            cublas_gflops=cublas_kernel(name).gflops(arch, n),
+        )
+        if include_magma and magma_supports(name, arch):
+            row.magma_gflops = magma_kernel(name).gflops(arch, n)
+        rows.append(row)
+    return rows
+
+
+def problem_size_series(
+    arch: GPUArch,
+    names: Sequence[str],
+    sizes: Sequence[int] = (512, 1024, 2048, 3072, 4096),
+) -> Dict[str, List[float]]:
+    """Fig. 13 data: OA GFLOPS across problem sizes."""
+    gen = generator_for(arch)
+    out: Dict[str, List[float]] = {}
+    for name in names:
+        tuned = gen.generate(name)
+        out[name] = [tuned.gflops(n) for n in sizes]
+    return out
+
+
+def symm_profile(
+    arch: GPUArch, n: int = 4096, routine: str = "SYMM-LL"
+) -> Tuple[ProfileCounters, ProfileCounters]:
+    """Tables I–III data: (CUBLAS counters, OA counters) for SYMM."""
+    gen = generator_for(arch)
+    cublas = cublas_kernel(routine).profile(arch, n).counters
+    oa = gen.generate(routine).profile(n).counters
+    return cublas, oa
+
+
+def best_scripts(
+    arch: GPUArch, names: Sequence[str]
+) -> Dict[str, TunedRoutine]:
+    """Fig. 14 data: the best-performing tuned routine per variant."""
+    gen = generator_for(arch)
+    return {name: gen.generate(name) for name in names}

@@ -1,0 +1,94 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+The paper's figures are bar/line charts; in a terminal repo the honest
+equivalent is aligned tables plus ASCII bars, which the benchmark harness
+prints next to the paper's reference numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ascii_table", "bar", "bar_chart", "series_chart"]
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    cols = len(headers)
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(cols)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6:
+            return f"{value / 1e6:.1f}M"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def bar(value: float, maximum: float, width: int = 40) -> str:
+    filled = 0 if maximum <= 0 else int(round(width * value / maximum))
+    return "#" * max(0, min(width, filled))
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, Mapping[str, float]]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Grouped horizontal bars: items = [(label, {series: value})]."""
+    maximum = max(
+        (v for _label, series in items for v in series.values()), default=1.0
+    )
+    label_w = max((len(label) for label, _ in items), default=0)
+    series_names = []
+    for _label, series in items:
+        for name in series:
+            if name not in series_names:
+                series_names.append(name)
+    series_w = max(len(s) for s in series_names)
+    lines = [title] if title else []
+    for label, series in items:
+        for idx, sname in enumerate(series_names):
+            if sname not in series:
+                continue
+            value = series[sname]
+            prefix = label.ljust(label_w) if idx == 0 else " " * label_w
+            lines.append(
+                f"{prefix}  {sname.ljust(series_w)} "
+                f"{bar(value, maximum, width)} {value:.0f}"
+            )
+    return "\n".join(lines)
+
+
+def series_chart(
+    x_values: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    ylabel: str = "GFLOPS",
+) -> str:
+    """A table-form line chart: one row per x value, one column per series."""
+    headers = ["N"] + list(series)
+    rows = []
+    for idx, x in enumerate(x_values):
+        rows.append([x] + [series[s][idx] for s in series])
+    return ascii_table(headers, rows, title=title)

@@ -1,0 +1,70 @@
+"""Optimization components (the EPOD translator's two pools).
+
+Polyhedral pool: thread_grouping, loop_tiling, loop_unroll,
+loop_interchange, loop_fission, loop_fusion, GM_map, format_iteration,
+peel_triangular, padding_triangular, binding_triangular.
+
+Traditional pool: SM_alloc, Reg_alloc.
+"""
+
+from .base import (
+    LOC_ANY,
+    LOC_FIRST,
+    POOL_POLYHEDRAL,
+    POOL_TRADITIONAL,
+    Transform,
+    TransformError,
+    TransformFailure,
+    TransformResult,
+)
+from .format_iteration import FormatIteration
+from .gm_map import GMMap, derived_names
+from .loop_ops import LoopFission, LoopFusion, LoopInterchange
+from .memory import ALLOC_MODES, RegAlloc, SMAlloc, SMEM_BANKS
+from .registry import REGISTRY, get_transform, pool_of, polyhedral_pool, traditional_pool
+from .thread_grouping import ThreadGrouping
+from .tiling import LoopTiling, LoopUnroll
+from .triangular import (
+    BindingTriangular,
+    PaddingTriangular,
+    PeelTriangular,
+    blank_zero_flag,
+)
+from .util import KernelStructure, default_params, make_phase, phase_kind
+
+__all__ = [
+    "ALLOC_MODES",
+    "BindingTriangular",
+    "FormatIteration",
+    "GMMap",
+    "KernelStructure",
+    "LOC_ANY",
+    "LOC_FIRST",
+    "LoopFission",
+    "LoopFusion",
+    "LoopInterchange",
+    "LoopTiling",
+    "LoopUnroll",
+    "PaddingTriangular",
+    "PeelTriangular",
+    "POOL_POLYHEDRAL",
+    "POOL_TRADITIONAL",
+    "REGISTRY",
+    "RegAlloc",
+    "SMAlloc",
+    "SMEM_BANKS",
+    "ThreadGrouping",
+    "Transform",
+    "TransformError",
+    "TransformFailure",
+    "TransformResult",
+    "blank_zero_flag",
+    "default_params",
+    "derived_names",
+    "get_transform",
+    "make_phase",
+    "phase_kind",
+    "pool_of",
+    "polyhedral_pool",
+    "traditional_pool",
+]

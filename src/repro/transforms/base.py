@@ -1,0 +1,93 @@
+"""Transform framework: the two optimization pools of the EPOD translator.
+
+Every optimization component the paper's scripts invoke is a
+:class:`Transform`.  Components declare:
+
+* which **pool** they live in (``polyhedral`` or ``traditional``) — the
+  composer's splitter routes the two kinds to the mixer and the allocator
+  respectively;
+* a **location constraint** — e.g. ``GM_map`` "is valid only when it is the
+  first optimization in an optimization sequence" (§IV-A.1); the mixer
+  refuses interleavings that violate it;
+* an ``apply`` method that rewrites a :class:`~repro.ir.ast.Computation`
+  and returns the transformed copy together with any labels it produced
+  (EPOD scripts bind those, e.g. ``(Lii, Ljj) = thread_grouping(Li, Lj)``).
+
+Failure protocol (paper §IV-B.2): a component that cannot detect its
+precondition raises :class:`TransformFailure`; the composer's filter then
+**omits** the component, letting the sequence degenerate rather than die.
+A :class:`TransformError` signals a genuine bug / malformed input and is
+never swallowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.ast import Computation
+
+__all__ = [
+    "Transform",
+    "TransformFailure",
+    "TransformError",
+    "TransformResult",
+    "POOL_POLYHEDRAL",
+    "POOL_TRADITIONAL",
+    "LOC_ANY",
+    "LOC_FIRST",
+]
+
+POOL_POLYHEDRAL = "polyhedral"
+POOL_TRADITIONAL = "traditional"
+
+LOC_ANY = "any"
+LOC_FIRST = "first"
+
+
+class TransformFailure(Exception):
+    """The component's detection step failed (e.g. peel_triangular found no
+    trapezoid area).  The filter treats this as "omit the component"."""
+
+
+class TransformError(Exception):
+    """The component was invoked incorrectly; a real error, never swallowed."""
+
+
+@dataclass
+class TransformResult:
+    """Outcome of applying one component."""
+
+    comp: Computation
+    #: Labels produced, in the order the script's tuple-assignment expects.
+    labels: Tuple[str, ...] = ()
+    #: Free-form notes for diagnostics / reporting.
+    notes: List[str] = field(default_factory=list)
+
+
+class Transform:
+    """Base class for optimization components.
+
+    Subclasses set :attr:`name`, :attr:`pool`, :attr:`location` and
+    implement :meth:`apply`.  ``apply`` must not mutate its input: clone
+    first, rewrite the clone.
+    """
+
+    name: str = ""
+    pool: str = POOL_POLYHEDRAL
+    location: str = LOC_ANY
+    #: Number of labels this component returns to the script (for
+    #: tuple-assignment arity checking); None means "same as label args".
+    returns: Optional[int] = 0
+
+    def apply(self, comp: Computation, args: Sequence[str], params: Dict[str, int]) -> TransformResult:
+        """Apply the component.
+
+        ``args`` are the script-level arguments already resolved to concrete
+        loop labels / array names / mode strings.  ``params`` are the tunable
+        parameters in effect (tile sizes etc.).
+        """
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name}>"

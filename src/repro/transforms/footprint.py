@@ -1,0 +1,200 @@
+"""Affine range / footprint analysis over the canonical kernel structure.
+
+Used by ``loop_tiling`` (to hoist a reduction-tile loop to block level it
+must bound the reduction range over all threads) and by ``SM_alloc`` (to
+size the shared-memory tile and synthesise the copy-in loops): given an
+affine subscript and the ranges of the "local" variables (thread indices
+and intra-tile loop variables), split it into
+
+    subscript = base + local,   local ∈ [0, span]
+
+where ``base`` is affine in the remaining (block-level) variables and
+``span`` is a compile-time constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.affine import AffineExpr, Bound, MaxExpr, MinExpr
+from ..ir.ast import Guard, Loop, Node
+from .base import TransformFailure
+
+__all__ = ["VarRange", "collect_var_ranges", "split_base_span", "max_over", "min_over"]
+
+
+@dataclass(frozen=True)
+class VarRange:
+    """A loop variable's range: ``value = lower + delta*step, delta ∈ [0, trip)``."""
+
+    lower: AffineExpr  # may reference block-level variables
+    trip: int
+    step: int
+
+    @property
+    def span(self) -> int:
+        """Largest offset above ``lower`` the variable can reach."""
+        return (self.trip - 1) * self.step
+
+
+def _const_trip(loop: Loop) -> Optional[int]:
+    """Trip count when (upper - lower) is constant (bounds may be affine)."""
+    if isinstance(loop.lower, (MinExpr, MaxExpr)) or isinstance(
+        loop.upper, (MinExpr, MaxExpr)
+    ):
+        return None
+    diff = loop.upper - loop.lower
+    if not diff.is_constant:
+        return None
+    return max(0, -(-diff.constant_value // loop.step))
+
+
+def _bound_candidates(bound: Bound) -> List[AffineExpr]:
+    if isinstance(bound, (MinExpr, MaxExpr)):
+        return list(bound.operands)
+    return [bound]
+
+
+def max_trip(loop: Loop) -> Optional[int]:
+    """Compile-time *upper bound* on the trip count.
+
+    For a min-bounded upper (``min(kk+KT, i+1)``) any constant-difference
+    candidate bounds the trip from above; the smallest such bound is
+    returned.  ``None`` when no candidate pair has a constant difference.
+    """
+    best: Optional[int] = None
+    for lo in _bound_candidates(loop.lower):
+        for up in _bound_candidates(loop.upper):
+            diff = up - lo
+            if diff.is_constant:
+                trip = max(0, -(-diff.constant_value // loop.step))
+                best = trip if best is None else min(best, trip)
+    return best
+
+
+def _range_lower(loop: Loop) -> AffineExpr:
+    """A safe affine lower base for the loop variable.
+
+    For a ``max``-bounded lower, prefer the single non-constant operand
+    (e.g. ``max(0, kk)`` → ``kk``); using an operand can only *undershoot*
+    the true minimum, which enlarges the modeled footprint — safe.
+    """
+    lower = loop.lower
+    if isinstance(lower, AffineExpr):
+        return lower
+    if isinstance(lower, MaxExpr):
+        nonconst = [op for op in lower.operands if not op.is_constant]
+        if len(nonconst) == 1:
+            return nonconst[0]
+        if nonconst:
+            # Several candidates (e.g. max(i+1, kk)): prefer the bare tile
+            # base — any operand only *undershoots* the true minimum, which
+            # merely enlarges the modeled footprint (safe superset).
+            bare = [op for op in nonconst if op.is_single_var()]
+            if bare:
+                return bare[0]
+            return min(nonconst, key=lambda e: len(e.terms))
+        consts = [op for op in lower.operands if op.is_constant]
+        if consts:
+            return max(consts, key=lambda e: e.constant_value)
+    raise TransformFailure(f"loop {loop.label}: cannot derive affine lower base")
+
+
+def collect_var_ranges(
+    loops: Sequence[Loop], optimistic: bool = False
+) -> Dict[str, VarRange]:
+    """Var ranges for a chain of loops with constant trip counts.
+
+    With ``optimistic=True``, min/max bounds are tolerated: the trip count
+    becomes a compile-time *upper bound* (the footprint is a superset of
+    the touched region — safe for sizing and copy generation).
+
+    Raises :class:`TransformFailure` when a loop's trip count cannot be
+    bounded at compile time.
+    """
+    out: Dict[str, VarRange] = {}
+    for loop in loops:
+        trip = max_trip(loop) if optimistic else _const_trip(loop)
+        if trip is None:
+            raise TransformFailure(
+                f"loop {loop.label} ({loop.var}) has a non-constant trip count"
+            )
+        lower = _range_lower(loop) if optimistic else loop.lower
+        if not isinstance(lower, AffineExpr):
+            raise TransformFailure(
+                f"loop {loop.label} ({loop.var}) has a non-affine lower bound"
+            )
+        out[loop.var] = VarRange(lower, trip, loop.step)
+    return out
+
+
+def split_base_span(
+    expr: AffineExpr, local: Dict[str, VarRange]
+) -> Tuple[AffineExpr, int]:
+    """Split ``expr`` into (base, span) over the local-variable box.
+
+    ``base`` is ``expr`` with each local variable replaced by its lower
+    bound; ``span`` bounds ``expr - base`` from above (assuming non-negative
+    travel, i.e. positive coefficients; negative coefficients shift the base
+    down instead so the result range is still [base, base+span]).
+    """
+    base = expr
+    span = 0
+    for name, coeff in list(expr.terms.items()):
+        if name not in local:
+            continue
+        rng = local[name]
+        # Substituting v -> lower removes the local var from base.
+        base = base.substitute({name: rng.lower})
+        travel = coeff * rng.span
+        if travel >= 0:
+            span += travel
+        else:
+            base = base + travel  # variable moves the index downward
+            span += -travel
+    # base may still contain local vars transitively through lower bounds —
+    # recurse until fixed point (e.g. inner k's lower bound is `kk`).
+    if set(base.terms) & set(local):
+        inner_base, inner_span = split_base_span(base, local)
+        return inner_base, span + inner_span
+    return base, span
+
+
+def max_over(expr: AffineExpr, local: Dict[str, VarRange]) -> AffineExpr:
+    """Upper bound (inclusive) of ``expr`` over the local box, as an affine
+    expression in the remaining variables."""
+    base, span = split_base_span(expr, local)
+    return base + span
+
+
+def min_over(expr: AffineExpr, local: Dict[str, VarRange]) -> AffineExpr:
+    base, _span = split_base_span(expr, local)
+    return base
+
+
+def enclosing_local_loops(root_body: Sequence[Node], target: Node) -> List[Loop]:
+    """Loops (in nesting order) between ``root_body`` and ``target``."""
+    path: List[Loop] = []
+
+    def rec(nodes: Sequence[Node], acc: List[Loop]) -> Optional[List[Loop]]:
+        for node in nodes:
+            if node is target:
+                return acc
+            if isinstance(node, Loop):
+                found = rec(node.body, acc + [node])
+                if found is not None:
+                    return found
+            elif isinstance(node, Guard):
+                found = rec(node.body, acc)
+                if found is not None:
+                    return found
+                found = rec(node.else_body, acc)
+                if found is not None:
+                    return found
+        return None
+
+    found = rec(root_body, [])
+    if found is None:
+        raise TransformFailure("target node not found under root")
+    return found

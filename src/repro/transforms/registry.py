@@ -1,0 +1,60 @@
+"""The optimization-component registry: the translator's two pools.
+
+Mirrors Fig. 2: components live in a *polyhedral transformation pool* and a
+*traditional optimization pool*; an EPOD script names components and the
+translator looks them up here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import POOL_POLYHEDRAL, POOL_TRADITIONAL, Transform
+from .format_iteration import FormatIteration
+from .gm_map import GMMap
+from .loop_ops import LoopFission, LoopFusion, LoopInterchange
+from .memory import RegAlloc, SMAlloc
+from .thread_grouping import ThreadGrouping
+from .tiling import LoopTiling, LoopUnroll
+from .triangular import BindingTriangular, PaddingTriangular, PeelTriangular
+
+__all__ = ["REGISTRY", "get_transform", "pool_of", "polyhedral_pool", "traditional_pool"]
+
+_ALL = [
+    ThreadGrouping(),
+    LoopTiling(),
+    LoopUnroll(),
+    LoopInterchange(),
+    LoopFission(),
+    LoopFusion(),
+    GMMap(),
+    FormatIteration(),
+    PeelTriangular(),
+    PaddingTriangular(),
+    BindingTriangular(),
+    SMAlloc(),
+    RegAlloc(),
+]
+
+REGISTRY: Dict[str, Transform] = {t.name: t for t in _ALL}
+
+
+def get_transform(name: str) -> Transform:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown optimization component {name!r}; available: {sorted(REGISTRY)}"
+        ) from None
+
+
+def pool_of(name: str) -> str:
+    return get_transform(name).pool
+
+
+def polyhedral_pool() -> List[str]:
+    return [t.name for t in _ALL if t.pool == POOL_POLYHEDRAL]
+
+
+def traditional_pool() -> List[str]:
+    return [t.name for t in _ALL if t.pool == POOL_TRADITIONAL]

@@ -1,0 +1,22 @@
+"""Auto-tuning: parameter space, variant search, library generation."""
+
+from .library import GeneratedLibrary, LibraryGenerator, TunedRoutine
+from .persist import load_library, save_library
+from .search import CURATED_SPACE, CandidateScore, SearchResult, VariantSearch
+from .space import Config, DEFAULT_SPACE, default_space, prune_space
+
+__all__ = [
+    "CURATED_SPACE",
+    "CandidateScore",
+    "Config",
+    "DEFAULT_SPACE",
+    "GeneratedLibrary",
+    "LibraryGenerator",
+    "SearchResult",
+    "TunedRoutine",
+    "VariantSearch",
+    "load_library",
+    "save_library",
+    "default_space",
+    "prune_space",
+]

@@ -1,0 +1,365 @@
+"""LibraryGenerator: the end-to-end OA pipeline for one target platform.
+
+For each routine: compose (base GEMM-NN script + the variant's adaptors)
+→ filter (legality oracle) → search (scripts × parameter space, analytic
+model) → verify the winner functionally (small sizes, both thread orders)
+→ package as a :class:`TunedRoutine`.
+
+Generated routines execute on the simulated GPU (functional + profiled)
+and can emit their CUDA source.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..adl.builtin import BUILTIN_ADAPTORS
+from ..blas3.naming import ALL_VARIANTS
+from ..blas3.reference import reference
+from ..blas3.routines import BASE_GEMM_SCRIPT, RoutineSpec, build_routine, get_spec
+from ..composer.compose import compose_candidates
+from ..composer.filterer import filter_candidates
+from ..composer.generator import ComposedScript
+from ..composer.oracle import check_equivalence
+from ..epod.script import parse_script
+from ..epod.translator import EpodTranslator
+from ..gpu.arch import GPUArch
+from ..gpu.simulator import RunResult, SimulatedGPU
+from ..ir.ast import Computation
+from ..transforms.triangular import blank_zero_flag
+from .search import CandidateScore, SearchResult, VariantSearch
+from .space import Config
+
+__all__ = ["TunedRoutine", "LibraryGenerator", "GeneratedLibrary"]
+
+
+@dataclass
+class TunedRoutine:
+    """One generated routine: the winning script, parameters and kernel."""
+
+    spec: RoutineSpec
+    arch: GPUArch
+    script: ComposedScript
+    config: Config
+    comp: Computation
+    tuned_gflops: float
+    #: effective (post-degeneration) component sequence of the winner
+    applied_key: tuple = ()
+    search: Optional[SearchResult] = None
+    #: unconditioned fallback for conditioned (padded) variants
+    fallback: Optional["TunedRoutine"] = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def conditions(self):
+        return self.script.conditions
+
+    def gflops(self, n: int, gpu: Optional[SimulatedGPU] = None) -> float:
+        gpu = gpu or SimulatedGPU(self.arch)
+        sizes = self.spec.make_sizes(n)
+        run = gpu.profile(self.comp, sizes, nominal_flops=self.spec.nominal_flops(sizes))
+        return run.gflops
+
+    def profile(self, n: int) -> RunResult:
+        sizes = self.spec.make_sizes(n)
+        return SimulatedGPU(self.arch).profile(
+            self.comp, sizes, nominal_flops=self.spec.nominal_flops(sizes)
+        )
+
+    def check_blank_zero(self, inputs: Mapping[str, np.ndarray]) -> bool:
+        """The runtime check of §IV-A.3 for conditioned variants."""
+        arr = None
+        for a in self.spec.arrays:
+            if a.triangular:
+                arr = a
+        if arr is None:
+            return True
+        data = np.asarray(inputs[arr.name])
+        blank = np.triu(data, 1) if arr.triangular == "lower" else np.tril(data, -1)
+        return not np.any(blank)
+
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        sizes: Optional[Mapping[str, int]] = None,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+    ) -> np.ndarray:
+        """Execute the routine functionally on the simulated GPU.
+
+        Applies full BLAS semantics: the kernel computes the core update,
+        alpha/beta scaling happens host-side (see DESIGN.md).  Conditioned
+        (padded) variants dispatch to their fallback when the blank area
+        is not zero — the multi-versioned code of §IV-A.3.
+        """
+        if self.conditions and not self.check_blank_zero(inputs):
+            if self.fallback is None:
+                raise RuntimeError(
+                    f"{self.name}: blank area not zero and no fallback variant"
+                )
+            return self.fallback.run(inputs, sizes=sizes, alpha=alpha, beta=beta)
+
+        if sizes is None:
+            sizes = self._infer_sizes(inputs)
+        if not self._tile_divisible(sizes):
+            # Full-tile kernels (DESIGN.md): pad up to the next tile
+            # multiple, run, and slice the result back.  Zero padding is
+            # exact for the multiply families; solves pad the triangular
+            # matrix with an identity block.
+            return self._run_padded(inputs, sizes, alpha=alpha, beta=beta)
+        gpu = SimulatedGPU(self.arch)
+        kernel_inputs = dict(inputs)
+        out_name = self.spec.output
+        if self.spec.variant.family == "TRSM":
+            # In-place solve of alpha-scaled RHS.
+            kernel_inputs["B"] = np.asarray(inputs["B"], dtype=np.float32) * alpha
+            run = gpu.run(self.comp, sizes, kernel_inputs)
+            return run.outputs[out_name]
+        # C-accumulating families: kernel computes P = op(A) op(B) into a
+        # zeroed C, then the host applies C := alpha*P + beta*C.
+        c_in = np.asarray(
+            kernel_inputs.get("C", 0.0), dtype=np.float32
+        )
+        kernel_inputs["C"] = np.zeros(
+            tuple(d.evaluate(sizes) for d in self._array("C").dims), np.float32
+        )
+        run = gpu.run(self.comp, sizes, kernel_inputs)
+        return alpha * run.outputs[out_name] + beta * c_in
+
+    def _tile_for(self, sym: str) -> int:
+        return {"M": self.config["BM"], "N": self.config["BN"], "K": self.config["KT"]}[sym]
+
+    def _tile_divisible(self, sizes: Mapping[str, int]) -> bool:
+        return all(
+            sizes.get(sym, 0) % self._tile_for(sym) == 0
+            for sym in self.spec.dim_symbols
+        )
+
+    def _padded_sizes(self, sizes: Mapping[str, int]) -> Dict[str, int]:
+        out = {}
+        for sym in self.spec.dim_symbols:
+            tile = self._tile_for(sym)
+            out[sym] = -(-sizes[sym] // tile) * tile
+        return out
+
+    def _run_padded(self, inputs, sizes, alpha: float, beta: float) -> np.ndarray:
+        padded_sizes = self._padded_sizes(sizes)
+        env = dict(sizes)
+        penv = dict(padded_sizes)
+        padded_inputs = {}
+        for arr in self.spec.arrays:
+            if arr.name not in inputs:
+                continue
+            data = np.asarray(inputs[arr.name], dtype=np.float32)
+            shape = tuple(d.evaluate(penv) for d in arr.dims)
+            buf = np.zeros(shape, np.float32)
+            buf[tuple(slice(0, s) for s in data.shape)] = data
+            if self.spec.variant.family == "TRSM" and arr.triangular:
+                # Identity on the padded diagonal keeps the solve exact.
+                n0 = data.shape[0]
+                for d in range(n0, shape[0]):
+                    buf[d, d] = 1.0
+            padded_inputs[arr.name] = buf
+        result = self.run(padded_inputs, sizes=padded_sizes, alpha=alpha, beta=beta)
+        out_shape = tuple(
+            d.evaluate(env) for d in self._array(self.spec.output).dims
+        )
+        return result[tuple(slice(0, s) for s in out_shape)]
+
+    def _array(self, name: str):
+        for a in self.spec.arrays:
+            if a.name == name:
+                return a
+        raise KeyError(name)
+
+    def _infer_sizes(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, int]:
+        b = np.asarray(inputs["B"])
+        if self.spec.variant.family == "GEMM":
+            a = np.asarray(inputs["A"])
+            ta = self.spec.variant.trans_a
+            tb = self.spec.variant.trans_b
+            m = a.shape[0] if ta == "N" else a.shape[1]
+            k = a.shape[1] if ta == "N" else a.shape[0]
+            n = b.shape[1] if tb == "N" else b.shape[0]
+            return {"M": m, "N": n, "K": k}
+        return {"M": b.shape[0], "N": b.shape[1]}
+
+    def cuda_source(self) -> str:
+        from ..codegen.cuda import emit_cuda
+
+        return emit_cuda(self.comp, self.config)
+
+
+class LibraryGenerator:
+    """Generates tuned BLAS3 routines for one architecture (the OA flow)."""
+
+    def __init__(
+        self,
+        arch: GPUArch,
+        tune_size: int = 4096,
+        space: Optional[Sequence[Config]] = None,
+        full_space: bool = False,
+        verify_size: int = 2,
+        check_candidates: bool = False,
+    ):
+        self.arch = arch
+        self.tune_size = tune_size
+        self.searcher = VariantSearch(arch, tune_size, space=space, full_space=full_space)
+        self.base_script = parse_script(BASE_GEMM_SCRIPT, name="gemm-nn")
+        self.verify_size = verify_size
+        self.check_candidates = check_candidates
+        self._cache: Dict[str, TunedRoutine] = {}
+        self._verify_cache: Dict = {}
+
+    # ------------------------------------------------------------------
+    def base_script_for(self, spec: RoutineSpec):
+        """The GEMM-NN scheme with array names resolved through the
+        routine's role map (right-side variants swap the operand roles:
+        their triangular/symmetric matrix plays GEMM's B)."""
+        from ..epod.script import EpodScript, Invocation
+
+        mapping = dict(spec.role_map)
+        invocations = [
+            Invocation(
+                inv.component,
+                tuple(mapping.get(a, a) for a in inv.args),
+                inv.outputs,
+            )
+            for inv in self.base_script
+        ]
+        return EpodScript(invocations, name=self.base_script.name)
+
+    def candidates(self, name: str) -> List[ComposedScript]:
+        """Composed candidate scripts for a routine (composer output)."""
+        spec = get_spec(name)
+        adaptations = [
+            (BUILTIN_ADAPTORS[adaptor], obj) for adaptor, obj in spec.adaptations
+        ]
+        source = build_routine(name)
+        raw = compose_candidates(self.base_script_for(spec), adaptations, name=name)
+        if not self.check_candidates:
+            return raw
+        report = filter_candidates(raw, source, params={"BM": 16, "BN": 16, "KT": 4, "TX": 8, "TY": 4})
+        return [fc.candidate for fc in report.accepted]
+
+    # ------------------------------------------------------------------
+    def generate(self, name: str, keep_all_scores: bool = False) -> TunedRoutine:
+        """Compose, search, verify and package one routine."""
+        key = get_spec(name).name
+        if key in self._cache:
+            return self._cache[key]
+        spec = get_spec(name)
+        source = build_routine(name)
+        candidates = self.candidates(name)
+        result = self.searcher.search(
+            name, source, candidates, keep_all=keep_all_scores
+        )
+
+        tuned = self._verified_best(spec, source, result)
+        if tuned.conditions:
+            tuned.fallback = self._unconditioned_fallback(spec, source, result)
+        self._cache[key] = tuned
+        return tuned
+
+    def library(self, names: Optional[Sequence[str]] = None) -> "GeneratedLibrary":
+        names = list(names or (v.name for v in ALL_VARIANTS))
+        return GeneratedLibrary(
+            self.arch, {get_spec(n).name: self.generate(n) for n in names}
+        )
+
+    # ------------------------------------------------------------------
+    #: Small tile configuration for fast functional verification — the
+    #: transformation pipeline is parameter-generic, so a script verified
+    #: at small tiles is verified for larger ones provided the *effective*
+    #: (post-degeneration) component sequence matches.
+    VERIFY_CONFIG: Config = {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2}
+
+    def _script_verified(self, source: Computation, score: CandidateScore) -> bool:
+        cache_key = (source.name, score.applied_key)
+        if cache_key in self._verify_cache:
+            return self._verify_cache[cache_key]
+        cfg = dict(self.VERIFY_CONFIG)
+        translator = EpodTranslator(cfg)
+        try:
+            small = translator.translate(source, score.script.script, mode="filter")
+        except Exception:
+            self._verify_cache[cache_key] = False
+            return False
+        if small.applied_key == score.applied_key:
+            ok = check_equivalence(small.comp, source, cfg).ok
+        else:
+            # The sequence degenerates differently at this tile size:
+            # verify the actual kernel (slower path).
+            ok = check_equivalence(score.comp, source, score.config).ok
+        self._verify_cache[cache_key] = ok
+        return ok
+
+    def _verified_best(
+        self, spec: RoutineSpec, source: Computation, result: SearchResult
+    ) -> TunedRoutine:
+        """Walk the score ranking until a functionally correct winner."""
+        ranked = sorted((s for s in result.scores if s.ok), key=lambda s: -s.gflops)
+        if not ranked:
+            ranked = [result.best]
+        for score in ranked:
+            if self._script_verified(source, score):
+                return TunedRoutine(
+                    spec=spec,
+                    arch=self.arch,
+                    script=score.script,
+                    config=dict(score.config),
+                    comp=score.comp,
+                    tuned_gflops=score.gflops,
+                    applied_key=score.applied_key,
+                    search=result,
+                )
+        raise RuntimeError(
+            f"no candidate for {spec.name} on {self.arch.name} survived verification"
+        )
+
+    def _unconditioned_fallback(
+        self, spec: RoutineSpec, source: Computation, result: SearchResult
+    ) -> Optional[TunedRoutine]:
+        ranked = sorted(
+            (s for s in result.scores if s.ok and not s.script.conditions),
+            key=lambda s: -s.gflops,
+        )
+        for score in ranked:
+            if self._script_verified(source, score):
+                return TunedRoutine(
+                    spec=spec,
+                    arch=self.arch,
+                    script=score.script,
+                    config=dict(score.config),
+                    comp=score.comp,
+                    tuned_gflops=score.gflops,
+                    applied_key=score.applied_key,
+                )
+        return None
+
+
+@dataclass
+class GeneratedLibrary:
+    """A tuned BLAS3 library for one platform."""
+
+    arch: GPUArch
+    routines: Dict[str, TunedRoutine]
+
+    def __getitem__(self, name: str) -> TunedRoutine:
+        return self.routines[get_spec(name).name]
+
+    def names(self) -> List[str]:
+        return list(self.routines)
+
+    def gflops(self, name: str, n: int) -> float:
+        return self[name].gflops(n)
+
+    def run(self, name: str, alpha: float = 1.0, beta: float = 1.0, **arrays) -> np.ndarray:
+        return self[name].run(arrays, alpha=alpha, beta=beta)

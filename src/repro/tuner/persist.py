@@ -1,0 +1,103 @@
+"""Persistence of tuning results.
+
+The paper's framing is about *reusing past optimization experiences*: a
+tuned library is an artifact worth keeping.  This module saves a
+:class:`~repro.tuner.library.GeneratedLibrary` as a JSON document —
+winning EPOD script text, tunable parameters, conditions and the modeled
+performance — and rebuilds the library from it without re-running the
+composer or the search (the scripts are re-applied by the translator and
+re-verified cheaply).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..adl.adaptor import Condition
+from ..blas3.routines import build_routine, get_spec
+from ..composer.generator import ComposedScript
+from ..epod.script import parse_script
+from ..epod.translator import EpodTranslator
+from ..gpu.arch import GPUArch, PLATFORMS
+from .library import GeneratedLibrary, TunedRoutine
+
+__all__ = ["save_library", "load_library", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def _routine_record(tuned: TunedRoutine) -> Dict:
+    record = {
+        "routine": tuned.name,
+        "script": tuned.script.script.render(),
+        "provenance": tuned.script.provenance,
+        "conditions": [c.text for c in tuned.conditions],
+        "config": dict(tuned.config),
+        "tuned_gflops": tuned.tuned_gflops,
+        "applied": [list(k) if isinstance(k, (list, tuple)) else k for k in tuned.applied_key],
+    }
+    if tuned.fallback is not None:
+        record["fallback"] = _routine_record(tuned.fallback)
+    return record
+
+
+def save_library(lib: GeneratedLibrary, path: Union[str, Path]) -> None:
+    """Write the tuned library to a JSON file."""
+    doc = {
+        "format": FORMAT_VERSION,
+        "arch": next(k for k, v in PLATFORMS.items() if v.name == lib.arch.name),
+        "routines": [_routine_record(r) for r in lib.routines.values()],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def _rebuild(record: Dict, arch: GPUArch) -> TunedRoutine:
+    spec = get_spec(record["routine"])
+    source = build_routine(record["routine"])
+    script = parse_script(record["script"], name=record["routine"])
+    config = {k: int(v) for k, v in record["config"].items()}
+    result = EpodTranslator(config).translate(source, script, mode="filter")
+    tuned = TunedRoutine(
+        spec=spec,
+        arch=arch,
+        script=ComposedScript(
+            script,
+            tuple(Condition(t) for t in record.get("conditions", ())),
+            record.get("provenance", "loaded"),
+        ),
+        config=config,
+        comp=result.comp,
+        tuned_gflops=float(record.get("tuned_gflops", 0.0)),
+        applied_key=result.applied_key,
+    )
+    if "fallback" in record:
+        tuned.fallback = _rebuild(record["fallback"], arch)
+    return tuned
+
+
+def load_library(
+    path: Union[str, Path], verify: bool = False
+) -> GeneratedLibrary:
+    """Rebuild a tuned library from a JSON file.
+
+    With ``verify=True`` every reloaded kernel is re-checked against the
+    functional oracle (slower; useful after editing the file by hand).
+    """
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported library format {doc.get('format')!r}")
+    arch = PLATFORMS[doc["arch"]]
+    routines = {}
+    for record in doc["routines"]:
+        tuned = _rebuild(record, arch)
+        if verify:
+            from ..composer.oracle import check_equivalence
+
+            source = build_routine(tuned.name)
+            verdict = check_equivalence(tuned.comp, source, tuned.config)
+            if not verdict.ok:
+                raise ValueError(f"{tuned.name}: reloaded kernel failed verification: {verdict.reason}")
+        routines[tuned.name] = tuned
+    return GeneratedLibrary(arch, routines)

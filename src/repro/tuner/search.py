@@ -1,0 +1,157 @@
+"""Variant + parameter search ("The best among the set is searched for",
+paper §II).
+
+For one routine on one architecture the search crosses:
+
+* the candidate EPOD scripts the composer produced (one per accepted
+  adaptor-rule interleaving), and
+* the tile/thread configurations of the parameter space,
+
+scoring each with the analytic performance model at the tuning size
+(the paper's 4096).  A curated sub-space keeps the default search fast;
+``full_space=True`` sweeps everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..composer.generator import ComposedScript
+from ..epod.script import EpodScript
+from ..epod.translator import EpodTranslator
+from ..gpu.arch import GPUArch
+from ..gpu.simulator import RunResult, SimulatedGPU
+from ..ir.ast import Computation
+from .space import Config, DEFAULT_SPACE, prune_space
+
+__all__ = ["SearchResult", "CandidateScore", "VariantSearch", "CURATED_SPACE"]
+
+#: A representative spread of tile shapes (Volkov-style row kernels,
+#: square tiles, wide thread blocks) used by the default search.
+CURATED_SPACE: List[Config] = [
+    {"BM": 64, "BN": 16, "KT": 16, "TX": 64, "TY": 1},
+    {"BM": 64, "BN": 16, "KT": 16, "TX": 32, "TY": 2},
+    {"BM": 64, "BN": 16, "KT": 16, "TX": 16, "TY": 4},
+    {"BM": 64, "BN": 16, "KT": 8, "TX": 64, "TY": 1},
+    {"BM": 32, "BN": 16, "KT": 16, "TX": 32, "TY": 1},
+    {"BM": 32, "BN": 16, "KT": 8, "TX": 32, "TY": 2},
+    {"BM": 32, "BN": 32, "KT": 16, "TX": 16, "TY": 4},
+    {"BM": 32, "BN": 32, "KT": 8, "TX": 32, "TY": 2},
+    {"BM": 16, "BN": 16, "KT": 16, "TX": 16, "TY": 4},
+    {"BM": 16, "BN": 16, "KT": 8, "TX": 16, "TY": 2},
+    {"BM": 128, "BN": 16, "KT": 16, "TX": 64, "TY": 1},
+    {"BM": 128, "BN": 16, "KT": 16, "TX": 32, "TY": 4},
+    {"BM": 64, "BN": 32, "KT": 16, "TX": 32, "TY": 4},
+    {"BM": 64, "BN": 32, "KT": 8, "TX": 64, "TY": 2},
+    {"BM": 64, "BN": 64, "KT": 16, "TX": 32, "TY": 8},
+    {"BM": 16, "BN": 64, "KT": 16, "TX": 16, "TY": 8},
+]
+
+
+@dataclass
+class CandidateScore:
+    script: ComposedScript
+    config: Config
+    gflops: float
+    run: Optional[RunResult] = None
+    comp: Optional[Computation] = None
+    #: effective (post-degeneration) component sequence of the translation
+    applied_key: Tuple = ()
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error and self.gflops > 0
+
+
+@dataclass
+class SearchResult:
+    routine: str
+    arch: GPUArch
+    best: CandidateScore
+    scores: List[CandidateScore] = field(default_factory=list)
+
+    def top(self, n: int = 5) -> List[CandidateScore]:
+        return sorted(
+            (s for s in self.scores if s.ok), key=lambda s: -s.gflops
+        )[:n]
+
+
+class VariantSearch:
+    """Exhaustive (script × config) search scored by the analytic model."""
+
+    def __init__(
+        self,
+        arch: GPUArch,
+        tune_size: int = 4096,
+        space: Optional[Sequence[Config]] = None,
+        full_space: bool = False,
+    ):
+        self.arch = arch
+        self.tune_size = tune_size
+        if space is not None:
+            self.space = list(space)
+        elif full_space:
+            self.space = prune_space(arch, DEFAULT_SPACE)
+        else:
+            self.space = prune_space(arch, CURATED_SPACE)
+        self.gpu = SimulatedGPU(arch)
+
+    def search(
+        self,
+        routine_name: str,
+        source: Computation,
+        candidates: Sequence[ComposedScript],
+        sizes: Optional[Dict[str, int]] = None,
+        nominal_flops: float = 0.0,
+        keep_all: bool = False,
+    ) -> SearchResult:
+        from ..blas3.routines import get_spec
+
+        spec = get_spec(routine_name)
+        sizes = dict(sizes or spec.make_sizes(self.tune_size))
+        nominal = nominal_flops or spec.nominal_flops(sizes)
+
+        scores: List[CandidateScore] = []
+        best: Optional[CandidateScore] = None
+        for candidate in candidates:
+            for config in self.space:
+                score = self._evaluate(source, candidate, config, sizes, nominal)
+                if keep_all or score.ok:
+                    scores.append(score)
+                if score.ok and (best is None or score.gflops > best.gflops):
+                    best = score
+        if best is None:
+            raise RuntimeError(
+                f"no feasible (script, config) for {routine_name} on {self.arch.name}"
+            )
+        return SearchResult(routine_name, self.arch, best, scores)
+
+    def _evaluate(
+        self,
+        source: Computation,
+        candidate: ComposedScript,
+        config: Config,
+        sizes: Dict[str, int],
+        nominal: float,
+    ) -> CandidateScore:
+        translator = EpodTranslator(dict(config))
+        try:
+            result = translator.translate(source, candidate.script, mode="filter")
+        except Exception as exc:
+            return CandidateScore(candidate, config, 0.0, error=f"translate: {exc}")
+        try:
+            run = self.gpu.profile(result.comp, sizes, nominal_flops=nominal)
+        except Exception as exc:
+            return CandidateScore(candidate, config, 0.0, error=f"profile: {exc}")
+        if not run.feasible:
+            return CandidateScore(candidate, config, 0.0, error="infeasible occupancy")
+        return CandidateScore(
+            candidate,
+            config,
+            run.gflops,
+            run=run,
+            comp=result.comp,
+            applied_key=result.applied_key,
+        )

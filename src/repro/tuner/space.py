@@ -1,0 +1,85 @@
+"""The optimization-parameter search space (paper §II: "Optimization
+parameters, such as tile size, are automatically tuned").
+
+A configuration is a dict of the five tunables the transforms consume:
+``BM``/``BN`` (block tile), ``KT`` (reduction tile), ``TX``/``TY`` (thread
+block shape).  The space enumerates Volkov-style shapes and prunes those
+that are structurally invalid or cannot fit an SM on the target
+architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..gpu.arch import GPUArch
+from ..gpu.occupancy import occupancy
+
+__all__ = ["Config", "default_space", "prune_space", "DEFAULT_SPACE"]
+
+Config = Dict[str, int]
+
+_BM = (16, 32, 64, 128)
+_BN = (16, 32, 64)
+_KT = (4, 8, 16)
+_TX = (8, 16, 32, 64)
+_TY = (1, 2, 4, 8)
+
+
+def _structurally_valid(cfg: Config) -> bool:
+    bm, bn, kt, tx, ty = cfg["BM"], cfg["BN"], cfg["KT"], cfg["TX"], cfg["TY"]
+    if bm % tx or bn % ty:
+        return False
+    if kt > bm or kt > bn:
+        return False
+    if bm % kt or bn % kt:
+        return False  # peel split points must land on tile boundaries
+    threads = tx * ty
+    if threads < 32 or threads > 512:
+        return False
+    per_thread = (bm // tx) * (bn // ty)
+    if per_thread > 32:
+        return False  # register tile too large for any of the three chips
+    return True
+
+
+def default_space() -> List[Config]:
+    """All structurally valid configurations."""
+    out: List[Config] = []
+    for bm in _BM:
+        for bn in _BN:
+            for kt in _KT:
+                for tx in _TX:
+                    for ty in _TY:
+                        cfg = {"BM": bm, "BN": bn, "KT": kt, "TX": tx, "TY": ty}
+                        if _structurally_valid(cfg):
+                            out.append(cfg)
+    return out
+
+
+DEFAULT_SPACE: List[Config] = default_space()
+
+
+def prune_space(
+    arch: GPUArch, space: Optional[Sequence[Config]] = None, max_configs: Optional[int] = None
+) -> List[Config]:
+    """Drop configurations that cannot run on ``arch``.
+
+    Uses a conservative resource estimate (register tile + staging
+    registers, one KT×max(BM,BN) shared tile) — the exact footprint is
+    checked again per generated kernel.
+    """
+    out: List[Config] = []
+    for cfg in space if space is not None else DEFAULT_SPACE:
+        threads = cfg["TX"] * cfg["TY"]
+        if threads > arch.max_threads_per_block:
+            continue
+        regs = 14 + (cfg["BM"] // cfg["TX"]) * (cfg["BN"] // cfg["TY"])
+        smem = cfg["KT"] * (max(cfg["BM"], cfg["BN"]) + 1) * 4
+        occ = occupancy(arch, threads, regs, smem)
+        if not occ.feasible:
+            continue
+        out.append(dict(cfg))
+        if max_configs is not None and len(out) >= max_configs:
+            break
+    return out

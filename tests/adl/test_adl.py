@@ -1,0 +1,148 @@
+"""Tests for the ADL parser and the four built-in adaptors (§IV-A)."""
+
+import pytest
+
+from repro.adl import (
+    ADAPTOR_SOLVER,
+    ADAPTOR_SYMMETRY,
+    ADAPTOR_TRANSPOSE,
+    ADAPTOR_TRIANGULAR,
+    AdlError,
+    BUILTIN_ADAPTORS,
+    Condition,
+    parse_adaptor,
+    parse_adaptors,
+)
+
+
+class TestParser:
+    def test_simple(self):
+        a = parse_adaptor(
+            """
+            adaptor Foo(X):
+              |
+              | GM_map(X, Transpose);
+            """
+        )
+        assert a.name == "Foo" and a.param == "X"
+        assert len(a.rules) == 2
+        assert a.rules[0].is_empty
+
+    def test_condition(self):
+        a = parse_adaptor(
+            """
+            adaptor Bar(X):
+              | padding_triangular(X); {cond(blank(X).zero = true)}
+            """
+        )
+        cond = a.rules[0].condition
+        assert cond is not None
+        assert cond.flag() == "blank_zero_X"  # formal parameter form
+        assert cond.instantiate("A").flag() == "blank_zero_A"
+
+    def test_multi_invocation_rule(self):
+        a = parse_adaptor(
+            """
+            adaptor Baz(X):
+              | GM_map(X, Symmetry); format_iteration(X, Symmetry);
+            """
+        )
+        assert [i.component for i in a.rules[0].invocations] == [
+            "GM_map",
+            "format_iteration",
+        ]
+
+    def test_continuation_lines(self):
+        a = parse_adaptor(
+            """
+            adaptor Qux(X):
+              | GM_map(X, Symmetry);
+                format_iteration(X, Symmetry);
+            """
+        )
+        assert len(a.rules[0].invocations) == 2
+
+    def test_multiple_adaptors(self):
+        adaptors = parse_adaptors(
+            """
+            adaptor A1(X):
+              | GM_map(X, Transpose);
+            adaptor A2(Y):
+              | peel_triangular(Y);
+            """
+        )
+        assert [a.name for a in adaptors] == ["A1", "A2"]
+        assert adaptors[1].param == "Y"
+
+    def test_rule_outside_adaptor_rejected(self):
+        with pytest.raises(AdlError):
+            parse_adaptors("| GM_map(X, Transpose);")
+
+    def test_empty_adaptor_rejected(self):
+        with pytest.raises(AdlError):
+            parse_adaptors("adaptor Nope(X):")
+
+    def test_outputs_in_rules_rejected(self):
+        with pytest.raises(AdlError):
+            parse_adaptor(
+                """
+                adaptor Bad(X):
+                  | (L1, L2) = thread_grouping((X, X));
+                """
+            )
+
+    def test_render_roundtrip(self):
+        again = parse_adaptor(ADAPTOR_TRIANGULAR.render())
+        assert again.name == ADAPTOR_TRIANGULAR.name
+        assert len(again.rules) == len(ADAPTOR_TRIANGULAR.rules)
+
+
+class TestBuiltins:
+    def test_catalog(self):
+        assert set(BUILTIN_ADAPTORS) == {
+            "Adaptor_Transpose",
+            "Adaptor_Symmetry",
+            "Adaptor_Triangular",
+            "Adaptor_Solver",
+        }
+
+    def test_transpose_three_rules(self):
+        rules = ADAPTOR_TRANSPOSE.rules
+        assert len(rules) == 3 and rules[0].is_empty
+        assert rules[1].invocations[0].component == "GM_map"
+        assert rules[2].invocations[0].component == "SM_alloc"
+
+    def test_symmetry_rules_match_paper(self):
+        rules = ADAPTOR_SYMMETRY.rules
+        assert rules[0].is_empty
+        assert [i.component for i in rules[1].invocations] == [
+            "GM_map",
+            "format_iteration",
+        ]
+        assert [i.component for i in rules[2].invocations] == [
+            "format_iteration",
+            "SM_alloc",
+        ]
+
+    def test_triangular_condition_on_padding(self):
+        rules = ADAPTOR_TRIANGULAR.rules
+        padding = [r for r in rules if r.invocations and r.invocations[0].component == "padding_triangular"]
+        assert padding and padding[0].condition is not None
+        assert "blank" in padding[0].condition.text
+
+    def test_solver_single_rule(self):
+        rules = ADAPTOR_SOLVER.rules
+        assert len(rules) == 1
+        assert [i.component for i in rules[0].invocations] == [
+            "peel_triangular",
+            "binding_triangular",
+        ]
+        assert rules[0].invocations[1].args == ("X", "0")
+
+    def test_instantiation_substitutes_object(self):
+        rules = ADAPTOR_SYMMETRY.instantiate("A")
+        assert rules[1].invocations[0].args == ("A", "Symmetry")
+
+    def test_instantiation_leaves_literals(self):
+        rules = ADAPTOR_SOLVER.instantiate("A")
+        assert rules[0].invocations[1].args == ("A", "0")

@@ -1,0 +1,111 @@
+"""Tests for the CUBLAS 3.2 / MAGMA v0.2 behavioural baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    cublas_kernel,
+    magma_kernel,
+    magma_supports,
+)
+from repro.blas3 import ALL_VARIANTS, get_spec, random_inputs, reference
+from repro.gpu import FERMI_C2050, GEFORCE_9800, GTX_285
+from repro.ir import validate
+
+# Functional checks need sizes divisible by the baseline's fixed tiles.
+_SIZES = {"GEMM": 128, "SYMM": 64, "TRMM": 64, "TRSM": 32}
+
+
+def _functional(name, arch=GTX_285, seed=9):
+    spec = get_spec(name)
+    kernel = cublas_kernel(name)
+    n = _SIZES[spec.variant.family]
+    sizes = spec.make_sizes(n)
+    inputs = random_inputs(name, sizes, seed=seed)
+    run = kernel.run(arch, sizes, inputs)
+    got = run.outputs[spec.output]
+    want = reference(name, inputs)
+    np.testing.assert_allclose(got, want, rtol=4e-3, atol=4e-3)
+
+
+class TestCublasFunctional:
+    @pytest.mark.parametrize("name", [v.name for v in ALL_VARIANTS])
+    def test_baseline_computes_routine(self, name):
+        _functional(name)
+
+    def test_kernels_validate(self):
+        for name in ("GEMM-NN", "SYMM-LL", "TRMM-LL-N", "TRSM-LL-N"):
+            validate(cublas_kernel(name).comp)
+
+    def test_kernel_cache(self):
+        assert cublas_kernel("GEMM-NN") is cublas_kernel("GEMM-NN")
+
+
+class TestCublasBehaviour:
+    def test_symm_mixed_mode_incoherent_on_cc10(self):
+        # Table I's cause: the shadow-area column walk is non-coalesced on
+        # the GeForce 9800.
+        counters = cublas_kernel("SYMM-LL").profile(GEFORCE_9800, 1024).counters
+        assert counters.gld_incoherent > 0
+
+    def test_symm_no_incoherent_on_cc13(self):
+        counters = cublas_kernel("SYMM-LL").profile(GTX_285, 1024).counters
+        assert counters.gld_incoherent == 0
+
+    def test_gemm_nn_strong(self):
+        # CUBLAS GEMM is the Volkov kernel: a large fraction of peak.
+        g = cublas_kernel("GEMM-NN").gflops(GTX_285, 4096)
+        assert g >= 0.35 * GTX_285.peak_gflops
+
+    def test_symm_much_weaker_than_gemm(self):
+        # §V-A.2: "GEMM-NN ... 420GFLOPS while SYMM achieves only 155".
+        gemm = cublas_kernel("GEMM-NN").gflops(GTX_285, 4096)
+        symm = cublas_kernel("SYMM-LL").gflops(GTX_285, 4096)
+        assert symm < 0.6 * gemm
+
+    def test_cublas_fluctuates_across_variants(self):
+        values = [
+            cublas_kernel(v.name).gflops(GTX_285, 4096)
+            for v in ALL_VARIANTS
+            if v.family != "TRSM"
+        ]
+        assert max(values) / min(values) >= 2.0
+
+
+class TestMagma:
+    def test_supports_matrix(self):
+        assert magma_supports("GEMM-NN", GTX_285)
+        assert magma_supports("TRSM-LL-N", GTX_285)
+        assert not magma_supports("SYMM-LL", GTX_285)
+        assert not magma_supports("TRMM-LL-N", GTX_285)
+        # Fermi build shipped only GEMM (§V-A).
+        assert magma_supports("GEMM-NN", FERMI_C2050)
+        assert not magma_supports("TRSM-LL-N", FERMI_C2050)
+
+    def test_unsupported_family_raises(self):
+        with pytest.raises(ValueError):
+            magma_kernel("SYMM-LL")
+
+    def test_magma_gemm_functional(self):
+        spec = get_spec("GEMM-NN")
+        sizes = spec.make_sizes(128)
+        inputs = random_inputs("GEMM-NN", sizes, seed=3)
+        run = magma_kernel("GEMM-NN").run(GTX_285, sizes, inputs)
+        np.testing.assert_allclose(
+            run.outputs["C"], reference("GEMM-NN", inputs), rtol=3e-3, atol=3e-3
+        )
+
+    def test_magma_trsm_functional(self):
+        spec = get_spec("TRSM-LL-N")
+        sizes = spec.make_sizes(64)
+        inputs = random_inputs("TRSM-LL-N", sizes, seed=4)
+        run = magma_kernel("TRSM-LL-N").run(GTX_285, sizes, inputs)
+        np.testing.assert_allclose(
+            run.outputs["B"], reference("TRSM-LL-N", inputs), rtol=4e-3, atol=4e-3
+        )
+
+    def test_magma_trsm_beats_cublas_trsm(self):
+        # MAGMA's blocked TRSM with larger tiles outruns CUBLAS 3.2's.
+        magma = magma_kernel("TRSM-LL-N").gflops(GTX_285, 4096)
+        cublas = cublas_kernel("TRSM-LL-N").gflops(GTX_285, 4096)
+        assert magma > cublas

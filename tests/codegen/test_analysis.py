@@ -1,0 +1,125 @@
+"""Tests for the static kernel analysis feeding the performance model."""
+
+import pytest
+
+from repro.blas3 import BASE_GEMM_SCRIPT, build_routine
+from repro.codegen import LARGE_STRIDE, analyze_computation, analyze_stage
+from repro.epod import parse_script, translate
+
+CFG = {"BM": 64, "BN": 16, "KT": 16, "TX": 64, "TY": 1}
+SIZES = {"M": 1024, "N": 1024, "K": 1024}
+
+
+@pytest.fixture(scope="module")
+def gemm_models():
+    comp = translate(
+        build_routine("GEMM-NN"), parse_script(BASE_GEMM_SCRIPT), params=CFG
+    ).comp
+    return analyze_computation(comp, SIZES)
+
+
+class TestGemmModel:
+    def test_grid(self, gemm_models):
+        model = gemm_models[-1]
+        assert model.grid_blocks == (1024 / 64) * (1024 / 16)
+        assert model.threads_per_block == 64
+
+    def test_flops_exact(self, gemm_models):
+        # 2 flops per MAC * M*N*K.
+        total = gemm_models[-1].total_flops()
+        assert total == pytest.approx(2 * 1024**3, rel=1e-6)
+
+    def test_smem_and_registers(self, gemm_models):
+        model = gemm_models[-1]
+        # B_s tile is (BN, KT+pad) floats.
+        assert model.smem_bytes == 16 * 17 * 4
+        # 14 base + 1x16 accumulators.
+        assert model.regs_per_thread == 14 + 16
+
+    def test_phases_tagged(self, gemm_models):
+        kinds = [p.kind for p in gemm_models[-1].phases]
+        assert kinds.count("copy") == 1
+        assert "regload" in kinds and "regstore" in kinds
+
+    def test_a_loads_register_cached(self, gemm_models):
+        # A[i][k] is invariant in the unrolled b loop: one distinct load
+        # per (k), not one per MAC.
+        compute = [p for p in gemm_models[-1].phases if p.kind == "compute"][0]
+        a_loads = [a for a in compute.accesses if a.array == "A" and a.kind == "load"]
+        assert len(a_loads) == 1
+        # per block per kk tile: 64 threads x 16 k values; and the model
+        # multiplies the block-level kk trip (64 tiles at K=1024).
+        assert a_loads[0].count_per_block == pytest.approx(64 * 16 * 64, rel=0.01)
+
+    def test_a_loads_coalesced(self, gemm_models):
+        compute = [p for p in gemm_models[-1].phases if p.kind == "compute"][0]
+        a_load = [a for a in compute.accesses if a.array == "A"][0]
+        assert a_load.stride_tx == 1
+
+    def test_smem_loads_broadcast(self, gemm_models):
+        compute = [p for p in gemm_models[-1].phases if p.kind == "compute"][0]
+        bs = [a for a in compute.accesses if a.array == "B_s"][0]
+        assert bs.stride_tx == 0  # same element across the row threads
+
+
+class TestSpecialShapes:
+    def test_triangular_half_flops(self):
+        comp = translate(
+            build_routine("TRMM-LL-N"),
+            parse_script(
+                """
+                (Lii, Ljj) = thread_grouping((Li, Lj));
+                (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+                """
+            ),
+            params=CFG,
+        ).comp
+        models = analyze_computation(comp, {"M": 1024, "N": 1024})
+        # Triangular reduction: about half of the full M*N*M MACs.
+        full = 2 * 1024**3
+        assert 0.4 * full <= models[-1].total_flops() <= 0.62 * full
+
+    def test_serial_phase_detected(self):
+        comp = translate(
+            build_routine("TRSM-LL-N"),
+            parse_script(
+                """
+                (Lii, Ljj) = thread_grouping((Li, Lj));
+                (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+                peel_triangular(A);
+                binding_triangular(A, 0);
+                """
+            ),
+            params={"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
+        ).comp
+        models = analyze_computation(comp, {"M": 256, "N": 256})
+        assert any(p.serial for p in models[-1].phases)
+
+    def test_remap_stage_modeled(self):
+        from repro.transforms import GMMap
+
+        comp = GMMap().apply(build_routine("GEMM-TN"), ("A", "Transpose"), {}).comp
+        models = analyze_computation(comp, SIZES)
+        assert models[0].role == "remap"
+        assert models[0].grid_blocks > 0
+        stores = [
+            a for p in models[0].phases for a in p.accesses if a.kind == "store"
+        ]
+        assert stores and abs(stores[0].stride_tx) >= LARGE_STRIDE
+
+    def test_uncoalesced_detected_in_raw_tn(self):
+        # GEMM-TN without GM_map reads A[k][i]: threadIdx.x lands in the
+        # column subscript -> scattered.
+        comp = translate(
+            build_routine("GEMM-TN"),
+            parse_script("(Lii, Ljj) = thread_grouping((Li, Lj));"),
+            params=CFG,
+        ).comp
+        models = analyze_computation(comp, SIZES)
+        a_loads = [
+            a
+            for p in models[-1].phases
+            for a in p.accesses
+            if a.array == "A" and a.kind == "load"
+        ]
+        assert a_loads and abs(a_loads[0].stride_tx) >= LARGE_STRIDE

@@ -1,0 +1,97 @@
+"""Structural tests for the CUDA source emitter."""
+
+import re
+
+import pytest
+
+from repro.blas3 import BASE_GEMM_SCRIPT, build_routine
+from repro.codegen import emit_cuda
+from repro.epod import parse_script, translate
+
+CFG = {"BM": 64, "BN": 16, "KT": 16, "TX": 16, "TY": 4}
+
+
+@pytest.fixture(scope="module")
+def gemm_cu():
+    comp = translate(
+        build_routine("GEMM-NN"), parse_script(BASE_GEMM_SCRIPT), params=CFG
+    ).comp
+    return emit_cuda(comp, CFG)
+
+
+@pytest.fixture(scope="module")
+def symm_cu():
+    script = parse_script(
+        """
+        GM_map(A, Symmetry);
+        format_iteration(A, Symmetry);
+        (Lii, Ljj) = thread_grouping((Li, Lj));
+        (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+        loop_unroll(Ljjj, Lkkk);
+        SM_alloc(B, Transpose);
+        Reg_alloc(C);
+        """
+    )
+    comp = translate(build_routine("SYMM-LL"), script, params=CFG).comp
+    return emit_cuda(comp, CFG)
+
+
+class TestStructure:
+    def test_global_kernel_emitted(self, gemm_cu):
+        assert "__global__ void gemm_nn_compute_0(" in gemm_cu
+
+    def test_braces_balanced(self, gemm_cu, symm_cu):
+        for text in (gemm_cu, symm_cu):
+            assert text.count("{") == text.count("}")
+
+    def test_shared_decl_with_padding(self, gemm_cu):
+        assert re.search(r"__shared__ float B_s\[16\]\[17\];", gemm_cu)
+
+    def test_register_tile_decl(self, gemm_cu):
+        # (BM/TX) x (BN/TY) per-thread accumulators.
+        assert re.search(r"float C_r\[4\]\[4\];", gemm_cu)
+
+    def test_block_and_thread_indices(self, gemm_cu):
+        assert "blockIdx.x" in gemm_cu and "blockIdx.y" in gemm_cu
+        assert "threadIdx.x" in gemm_cu and "threadIdx.y" in gemm_cu
+
+    def test_syncthreads_present(self, gemm_cu):
+        assert gemm_cu.count("__syncthreads();") >= 3
+
+    def test_pragma_unroll(self, gemm_cu):
+        assert "#pragma unroll" in gemm_cu
+
+    def test_column_major_linearisation(self, gemm_cu):
+        # Global refs linearise as idx0 + idx1 * leading_dimension.
+        assert re.search(r"A\[\([^\]]+\) \+ \([^\]]+\) \* M\]", gemm_cu)
+
+    def test_launcher_sketch(self, gemm_cu):
+        assert "dim3 threads(16, 4);" in gemm_cu
+        assert "<<<grid, threads>>>" in gemm_cu
+
+
+class TestSymmSpecifics:
+    def test_two_kernels(self, symm_cu):
+        # GM_map's remap stage plus the compute stage.
+        assert "symm_ll_remap_0" in symm_cu
+        assert "symm_ll_compute_1" in symm_cu
+
+    def test_remap_guarded(self, symm_cu):
+        remap = symm_cu.split("__global__")[1]
+        assert "if (" in remap and "A_full" in remap
+
+    def test_decls_scoped_to_stage(self, symm_cu):
+        remap = symm_cu.split("__global__")[1]
+        assert "__shared__" not in remap  # the remap kernel uses no smem
+
+    def test_flags_become_parameters(self):
+        script = parse_script(
+            """
+            (Lii, Ljj) = thread_grouping((Li, Lj));
+            (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+            padding_triangular(A);
+            """
+        )
+        comp = translate(build_routine("TRMM-LL-N"), script, params=CFG).comp
+        text = emit_cuda(comp, CFG)
+        assert "int blank_zero_A" in text

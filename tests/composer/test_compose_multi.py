@@ -1,0 +1,75 @@
+"""Composer tests for multi-adaptor composition (GEMM-TT, TRMM-T forms)."""
+
+import pytest
+
+from repro.adl import ADAPTOR_TRANSPOSE, ADAPTOR_TRIANGULAR, BUILTIN_ADAPTORS
+from repro.blas3 import BASE_GEMM_SCRIPT, build_routine
+from repro.composer import compose_candidates
+from repro.epod import parse_script
+
+BASE = parse_script(BASE_GEMM_SCRIPT, name="gemm-nn")
+
+
+class TestMultiAdaptor:
+    def test_gemm_tt_candidate_count(self):
+        # Adaptor_Transpose per operand: empty (1 way), GM_map (1 legal
+        # position: first), SM_alloc (traditional: 1 way) -> 3 states per
+        # adaptor... but two GM_maps cannot both be first, so that combo
+        # drops out: 3*3 - 1 = 8.
+        candidates = compose_candidates(
+            BASE, [(ADAPTOR_TRANSPOSE, "A"), (ADAPTOR_TRANSPOSE, "B")]
+        )
+        assert len(candidates) == 8
+
+    def test_double_gm_map_combination_absent(self):
+        candidates = compose_candidates(
+            BASE, [(ADAPTOR_TRANSPOSE, "A"), (ADAPTOR_TRANSPOSE, "B")]
+        )
+        for c in candidates:
+            gm_maps = [i for i in c.script if i.component == "GM_map"]
+            assert len(gm_maps) <= 1  # location constraint kills the pair
+
+    def test_transpose_plus_triangular(self):
+        # TRMM-LL-T composes both adaptors.  Transpose contributes three
+        # prefixes: empty / SM_alloc (3 polyhedral components each) and
+        # GM_map (4 components, pinned first).  Triangular then inserts
+        # peel or padding at every position, plus its empty rule:
+        # 2*(1 + 4 + 4) + (1 + 4 + 4) = 27.
+        candidates = compose_candidates(
+            BASE, [(ADAPTOR_TRANSPOSE, "A"), (ADAPTOR_TRIANGULAR, "A")]
+        )
+        assert len(candidates) == 27
+
+    def test_allocator_merges_across_adaptors(self):
+        # Adaptor_Transpose(B) rule 3 contributes SM_alloc(B, Transpose);
+        # the base script already has one: the merged scheme degrades to
+        # NoChange (the paper's §IV-B.3 example).
+        candidates = compose_candidates(BASE, [(ADAPTOR_TRANSPOSE, "B")])
+        merged = [
+            c
+            for c in candidates
+            if any(
+                i.component == "SM_alloc" and i.args == ("B", "NoChange")
+                for i in c.script
+            )
+        ]
+        assert merged, "the double-transpose merge must appear in some candidate"
+
+    def test_provenance_tracks_rules(self):
+        candidates = compose_candidates(
+            BASE, [(ADAPTOR_TRANSPOSE, "A"), (ADAPTOR_TRANSPOSE, "B")]
+        )
+        assert any(
+            "Adaptor_Transpose(A)#1" in c.provenance
+            and "Adaptor_Transpose(B)#0" in c.provenance
+            for c in candidates
+        )
+
+    def test_conditions_accumulate(self):
+        candidates = compose_candidates(
+            BASE, [(ADAPTOR_TRIANGULAR, "A")]
+        )
+        conditioned = [c for c in candidates if c.conditions]
+        assert conditioned
+        for c in conditioned:
+            assert all("blank(A).zero" in cond.text for cond in c.conditions)

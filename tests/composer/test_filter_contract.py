@@ -1,0 +1,86 @@
+"""The §IV-B.2 walkthrough as a contract test.
+
+Paper: mixing Adaptor_Triangular with the GEMM-NN EPOD script yields 9
+candidate sequences; the filter applies them component by component,
+degenerating sequences merge, and "the semi-output of the filter includes
+seven sequences", all of which pass the dependence check.
+"""
+
+import pytest
+
+from repro.adl import ADAPTOR_TRIANGULAR
+from repro.blas3 import BASE_GEMM_SCRIPT, build_routine
+from repro.composer import Composer, compose_candidates
+from repro.epod import parse_script
+
+PARAMS = {"BM": 8, "BN": 8, "KT": 4, "TX": 4, "TY": 2}
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    base = parse_script(BASE_GEMM_SCRIPT, name="gemm-nn")
+    trmm = build_routine("TRMM-LL-N")
+    return Composer(params=PARAMS).compose(trmm, base, [(ADAPTOR_TRIANGULAR, "A")])
+
+
+def test_nine_candidates(outcome):
+    # Empty rule (1) + peel at 4 positions + padding at 4 positions.
+    assert len(outcome.candidates) == 9
+
+
+def test_seven_semi_output_sequences(outcome):
+    assert len(outcome.report.semi_output) == 7
+
+
+def test_two_degenerate_duplicates(outcome):
+    # Paper: sequences 2 and 6 (peel/padding before thread grouping)
+    # degenerate into sequence 1.
+    assert len(outcome.report.duplicates) == 2
+
+
+def test_all_semi_output_legal(outcome):
+    assert len(outcome.report.accepted) == 7
+    assert not outcome.report.rejected
+
+
+def test_unroll_before_peel_degenerates(outcome):
+    # Paper sequences 5 and 9: loop_unroll fails on the non-rectangular
+    # area, leaving thread_grouping, loop_tiling, peel/padding.
+    effective = [
+        tuple(
+            inv.component
+            for inv in fc.result.applied
+            if inv.component not in ("SM_alloc", "Reg_alloc")
+        )
+        for fc in outcome.report.semi_output
+    ]
+    assert ("thread_grouping", "loop_tiling", "peel_triangular") in effective
+    assert ("thread_grouping", "loop_tiling", "padding_triangular") in effective
+
+
+def test_successful_sequences_present(outcome):
+    effective = {
+        tuple(
+            inv.component
+            for inv in fc.result.applied
+            if inv.component not in ("SM_alloc", "Reg_alloc")
+        )
+        for fc in outcome.report.semi_output
+    }
+    # Paper sequences 3/4 (peel before/after tiling, unroll succeeding) and
+    # 7/8 for padding.
+    assert ("thread_grouping", "peel_triangular", "loop_tiling", "loop_unroll") in effective
+    assert ("thread_grouping", "loop_tiling", "peel_triangular", "loop_unroll") in effective
+    assert ("thread_grouping", "padding_triangular", "loop_tiling", "loop_unroll") in effective
+    assert ("thread_grouping", "loop_tiling", "padding_triangular", "loop_unroll") in effective
+
+
+def test_padding_candidates_carry_condition(outcome):
+    padded = [
+        fc
+        for fc in outcome.report.semi_output
+        if any(inv.component == "padding_triangular" for inv in fc.result.applied)
+    ]
+    assert padded
+    for fc in padded:
+        assert any("blank(A).zero" in c.text for c in fc.candidate.conditions)

@@ -1,0 +1,86 @@
+"""Tests for the filter's functional + race oracle."""
+
+import numpy as np
+import pytest
+
+from repro.blas3 import build_routine
+from repro.composer import check_equivalence, make_inputs, oracle_sizes, output_arrays
+from repro.epod import parse_script, translate
+
+PARAMS = {"BM": 8, "BN": 8, "KT": 4, "TX": 4, "TY": 2}
+
+GROUP_TILE = """
+(Lii, Ljj) = thread_grouping((Li, Lj));
+(Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+"""
+
+
+class TestInputsOutputs:
+    def test_outputs_gemm(self):
+        assert output_arrays(build_routine("GEMM-NN")) == ["C"]
+
+    def test_outputs_trsm(self):
+        assert output_arrays(build_routine("TRSM-LL-N")) == ["B"]
+
+    def test_triangular_inputs_have_zero_blanks(self):
+        comp = build_routine("TRMM-LL-N")
+        sizes = {"M": 8, "N": 8}
+        inputs = make_inputs(comp, sizes)
+        assert np.all(np.triu(inputs["A"], 1) == 0)
+
+    def test_solver_inputs_diag_boosted(self):
+        comp = build_routine("TRSM-LL-N")
+        inputs = make_inputs(comp, {"M": 8, "N": 8})
+        assert np.all(np.abs(np.diag(inputs["A"])) >= 1.0)
+
+    def test_oracle_sizes_cover_two_tiles(self):
+        comp = build_routine("GEMM-NN")
+        sizes = oracle_sizes(comp, PARAMS)
+        assert sizes["M"] == 2 * PARAMS["BM"]
+        assert sizes["N"] == 2 * PARAMS["BN"]
+        assert sizes["K"] % PARAMS["KT"] == 0
+
+    def test_derived_arrays_not_inputs(self):
+        from repro.transforms import GMMap
+
+        comp = GMMap().apply(build_routine("GEMM-TN"), ("A", "Transpose"), {}).comp
+        inputs = make_inputs(comp, {"M": 8, "N": 8, "K": 8})
+        assert "A_t" not in inputs
+
+
+class TestEquivalence:
+    def test_correct_kernel_accepted(self):
+        source = build_routine("GEMM-NN")
+        result = translate(source, parse_script(GROUP_TILE), params=PARAMS)
+        verdict = check_equivalence(result.comp, source, PARAMS)
+        assert verdict.ok, verdict.reason
+
+    def test_racy_solver_rejected(self):
+        # TRSM grouped+tiled without binding races across threads: the
+        # oracle must reject it (this is the GPU-validity check PolyDeps
+        # cannot express).
+        source = build_routine("TRSM-LL-N")
+        result = translate(source, parse_script(GROUP_TILE), params=PARAMS, mode="filter")
+        verdict = check_equivalence(result.comp, source, PARAMS)
+        assert not verdict.ok
+
+    def test_bound_solver_accepted(self):
+        source = build_routine("TRSM-LL-N")
+        script = parse_script(
+            GROUP_TILE + "peel_triangular(A);\nbinding_triangular(A, 0);"
+        )
+        result = translate(source, parse_script(script.render()), params=PARAMS)
+        verdict = check_equivalence(result.comp, source, PARAMS)
+        assert verdict.ok, verdict.reason
+
+    def test_wrong_kernel_rejected(self):
+        # Sabotage: swap the output statement's operands structurally by
+        # reusing a different routine's kernel.
+        source = build_routine("GEMM-NN")
+        other = translate(
+            build_routine("GEMM-TN"), parse_script(GROUP_TILE), params=PARAMS
+        )
+        # GEMM-TN's kernel computes Aᵀ·B over A(K,M): shapes don't even
+        # match GEMM-NN's inputs — the oracle reports failure, not a crash.
+        verdict = check_equivalence(other.comp, source, PARAMS)
+        assert not verdict.ok

@@ -1,0 +1,85 @@
+"""Tests for the EPOD script model and parser (paper Fig. 3 syntax)."""
+
+import pytest
+
+from repro.epod import EpodScript, Invocation, ScriptError, parse_script
+
+FIG3_SCRIPT = """
+(Lii, Ljj) = thread_grouping((Li, Lj));
+(Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+loop_unroll(Ljjj, Lkkk);
+SM_alloc(B, Transpose);
+Reg_alloc(C);
+"""
+
+
+class TestParsing:
+    def test_fig3_script(self):
+        script = parse_script(FIG3_SCRIPT)
+        assert script.components() == [
+            "thread_grouping",
+            "loop_tiling",
+            "loop_unroll",
+            "SM_alloc",
+            "Reg_alloc",
+        ]
+
+    def test_outputs_bound(self):
+        script = parse_script(FIG3_SCRIPT)
+        assert script.invocations[0].outputs == ("Lii", "Ljj")
+        assert script.invocations[1].outputs == ("Liii", "Ljjj", "Lkkk")
+
+    def test_nested_parens_unwrapped(self):
+        script = parse_script("(A, B) = thread_grouping((Li, Lj));")
+        assert script.invocations[0].args == ("Li", "Lj")
+
+    def test_integer_args(self):
+        script = parse_script("binding_triangular(A, 0);")
+        assert script.invocations[0].args == ("A", "0")
+
+    def test_comments_stripped(self):
+        script = parse_script("SM_alloc(B, Transpose); // stride-1 in k")
+        assert len(script) == 1
+
+    def test_semicolon_optional(self):
+        script = parse_script("Reg_alloc(C)")
+        assert script.invocations[0].component == "Reg_alloc"
+
+    def test_empty_lines_skipped(self):
+        script = parse_script("\n\nReg_alloc(C);\n\n")
+        assert len(script) == 1
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ScriptError):
+            parse_script("this is not an invocation")
+
+    def test_bad_arg_token_rejected(self):
+        with pytest.raises(ScriptError):
+            parse_script("SM_alloc(B+1, Transpose);")
+
+    def test_double_binding_rejected(self):
+        with pytest.raises(ScriptError):
+            parse_script("(X) = f(A);\n(X) = g(B);")
+
+
+class TestModel:
+    def test_render_roundtrip(self):
+        script = parse_script(FIG3_SCRIPT)
+        again = parse_script(script.render())
+        assert script == again
+
+    def test_key_identity(self):
+        a = parse_script("SM_alloc(B, Transpose);")
+        b = parse_script("SM_alloc(B, Transpose);")
+        c = parse_script("SM_alloc(B, NoChange);")
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+
+    def test_invocation_render(self):
+        inv = Invocation("loop_unroll", ("Ljjj", "Lkkk"))
+        assert inv.render() == "loop_unroll(Ljjj, Lkkk);"
+
+    def test_hash_consistent_with_eq(self):
+        a = parse_script(FIG3_SCRIPT)
+        b = parse_script(FIG3_SCRIPT)
+        assert hash(a) == hash(b) and a == b

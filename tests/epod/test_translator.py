@@ -1,0 +1,93 @@
+"""Tests for the EPOD translator: strict/filter modes, label environment."""
+
+import numpy as np
+import pytest
+
+from repro.blas3 import BASE_GEMM_SCRIPT, build_routine, random_inputs, reference
+from repro.epod import ScriptError, parse_script, translate
+from repro.ir import interpret, validate
+from repro.transforms import TransformFailure
+
+PARAMS = {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2}
+
+
+class TestStrictMode:
+    def test_full_gemm_script(self):
+        comp = build_routine("GEMM-NN")
+        result = translate(comp, parse_script(BASE_GEMM_SCRIPT), params=PARAMS)
+        validate(result.comp)
+        assert len(result.applied) == 5 and not result.omitted
+
+    def test_functional_after_translation(self):
+        comp = build_routine("GEMM-NN")
+        result = translate(comp, parse_script(BASE_GEMM_SCRIPT), params=PARAMS)
+        sizes = {"M": 32, "N": 32, "K": 16}
+        inputs = random_inputs("GEMM-NN", sizes, seed=1)
+        out = interpret(result.comp, sizes, inputs)
+        np.testing.assert_allclose(
+            out["C"], reference("GEMM-NN", inputs), rtol=1e-3, atol=1e-3
+        )
+
+    def test_failure_propagates(self):
+        comp = build_routine("TRMM-LL-N")
+        script = parse_script("peel_triangular(A);")
+        with pytest.raises(TransformFailure):
+            translate(comp, script, params=PARAMS, mode="strict")
+
+    def test_unknown_component(self):
+        comp = build_routine("GEMM-NN")
+        with pytest.raises(KeyError):
+            translate(comp, parse_script("warp_specialize(A);"), params=PARAMS)
+
+    def test_arity_mismatch(self):
+        comp = build_routine("GEMM-NN")
+        script = parse_script("(OnlyOne) = thread_grouping((Li, Lj));")
+        with pytest.raises(ScriptError):
+            translate(comp, script, params=PARAMS)
+
+    def test_input_not_mutated(self):
+        comp = build_routine("GEMM-NN")
+        translate(comp, parse_script(BASE_GEMM_SCRIPT), params=PARAMS)
+        assert comp.main_stage.body[0].label == "Li"
+
+
+class TestFilterMode:
+    def test_failing_component_omitted(self):
+        comp = build_routine("TRMM-LL-N")
+        script = parse_script(
+            """
+            (Lii, Ljj) = thread_grouping((Li, Lj));
+            (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+            loop_unroll(Ljjj, Lkkk);
+            peel_triangular(A);
+            """
+        )
+        result = translate(comp, script, params=PARAMS, mode="filter")
+        omitted = [inv.component for inv, _ in result.omitted]
+        assert omitted == ["loop_unroll"]  # paper §IV-B.2 degeneration
+        applied = [inv.component for inv in result.applied]
+        assert applied == ["thread_grouping", "loop_tiling", "peel_triangular"]
+
+    def test_omitted_outputs_alias_inputs(self):
+        # When a tuple-binding component is omitted, later uses of its
+        # outputs must still resolve (to the inputs).
+        comp = build_routine("GEMM-NN")
+        script = parse_script(
+            """
+            (Lii, Ljj) = thread_grouping((Li, Lj));
+            (La, Lb) = thread_grouping((Lii, Ljj));
+            (Liii, Ljjj, Lkkk) = loop_tiling(La, Lb, Lk);
+            """
+        )
+        result = translate(comp, script, params=PARAMS, mode="filter")
+        assert [i.component for i in result.applied] == [
+            "thread_grouping",
+            "loop_tiling",
+        ]
+
+    def test_applied_key_reflects_degeneration(self):
+        comp = build_routine("TRMM-LL-N")
+        full = parse_script(BASE_GEMM_SCRIPT)
+        result = translate(comp, full, params=PARAMS, mode="filter")
+        names = [k[0] for k in result.applied_key]
+        assert "loop_unroll" not in names  # triangular bound blocks unroll

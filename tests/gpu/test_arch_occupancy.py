@@ -1,0 +1,86 @@
+"""Tests for architecture descriptors and the occupancy calculator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import FERMI_C2050, GEFORCE_9800, GTX_285, PLATFORMS, occupancy
+
+
+class TestArch:
+    def test_paper_specs_9800(self):
+        a = GEFORCE_9800
+        assert a.num_sms == 16 and a.sps_per_sm == 8
+        assert a.regs_per_sm == 8192 and a.smem_per_sm == 16 * 1024
+        # Paper: "The peak performance is 429GFLOPS."
+        assert a.peak_gflops == pytest.approx(429, rel=0.01)
+
+    def test_paper_specs_gtx285(self):
+        a = GTX_285
+        assert a.num_sms == 30 and a.sps_per_sm == 8
+        assert a.regs_per_sm == 16384 and a.smem_per_sm == 16 * 1024
+        # Paper: "The peak performance is 709GFLOPS."
+        assert a.peak_gflops == pytest.approx(709, rel=0.01)
+
+    def test_paper_specs_fermi(self):
+        a = FERMI_C2050
+        assert a.num_sms == 14 and a.sps_per_sm == 32
+        assert a.regs_per_sm == 32768 and a.smem_per_sm == 48 * 1024
+        # Paper: "The peak performance is over a Tera FLOPS."
+        assert a.peak_gflops > 1000
+
+    def test_coalesce_granularity(self):
+        assert GEFORCE_9800.coalesce_granularity == 16  # half-warp
+        assert FERMI_C2050.coalesce_granularity == 32  # warp
+
+    def test_platform_registry(self):
+        assert set(PLATFORMS) == {"geforce9800", "gtx285", "fermi"}
+
+
+class TestOccupancy:
+    def test_small_kernel_full_blocks(self):
+        occ = occupancy(GTX_285, threads_per_block=64, regs_per_thread=16, smem_per_block=1024)
+        assert occ.blocks_per_sm == 8  # hardware slot limit
+
+    def test_register_limited(self):
+        occ = occupancy(GEFORCE_9800, 256, 32, 1024)
+        assert occ.limiter == "registers"
+        assert occ.blocks_per_sm == 1
+
+    def test_smem_limited(self):
+        occ = occupancy(GTX_285, 64, 10, 9 * 1024)
+        assert occ.limiter == "shared memory"
+        assert occ.blocks_per_sm == 1
+
+    def test_infeasible_threads(self):
+        assert not occupancy(GEFORCE_9800, 768, 10, 1024).feasible
+
+    def test_infeasible_smem(self):
+        assert not occupancy(GTX_285, 64, 10, 20 * 1024).feasible
+
+    def test_occupancy_fraction(self):
+        occ = occupancy(GTX_285, 128, 16, 2048)
+        assert 0 < occ.occupancy <= 1.0
+        assert occ.active_warps == occ.blocks_per_sm * 4
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(GTX_285, 0, 10, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        threads=st.sampled_from([32, 64, 128, 256, 512]),
+        regs=st.integers(8, 64),
+        smem=st.integers(0, 48 * 1024),
+    )
+    def test_occupancy_invariants(self, threads, regs, smem):
+        for arch in (GEFORCE_9800, GTX_285, FERMI_C2050):
+            occ = occupancy(arch, threads, regs, smem)
+            assert 0 <= occ.occupancy <= 1.0
+            assert occ.blocks_per_sm * threads <= arch.max_threads_per_sm or occ.blocks_per_sm == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(regs=st.integers(8, 60))
+    def test_more_registers_never_help(self, regs):
+        low = occupancy(GTX_285, 128, regs, 2048)
+        high = occupancy(GTX_285, 128, regs + 4, 2048)
+        assert high.blocks_per_sm <= low.blocks_per_sm

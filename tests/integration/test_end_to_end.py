@@ -1,0 +1,59 @@
+"""End-to-end integration: every one of the 24 variants through the full
+OA pipeline (compose → search → verify → run), checked against NumPy.
+
+A small tile space keeps this suite fast; the paper-scale numbers are
+produced by the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas3 import ALL_VARIANTS, get_spec, random_inputs, reference
+from repro.gpu import GTX_285
+from repro.tuner import LibraryGenerator
+
+SMALL_SPACE = [
+    {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
+]
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return LibraryGenerator(GTX_285, space=SMALL_SPACE)
+
+
+@pytest.mark.parametrize("name", [v.name for v in ALL_VARIANTS])
+def test_variant_end_to_end(gen, name):
+    tuned = gen.generate(name)
+    spec = get_spec(name)
+    sizes = spec.make_sizes(32)
+    inputs = random_inputs(name, sizes, seed=13)
+    got = tuned.run(inputs)
+    want = reference(name, inputs)
+    np.testing.assert_allclose(got, want, rtol=4e-3, atol=4e-3)
+
+
+def test_adapted_variants_reuse_gemm_scheme(gen):
+    # The thesis of the paper: every variant's winning script is the GEMM-NN
+    # skeleton extended by adaptor components.
+    skeleton = {"thread_grouping", "loop_tiling"}
+    for name in ("SYMM-LU", "TRMM-RL-T", "TRSM-RU-N", "GEMM-TT"):
+        applied = {k[0] for k in gen.generate(name).applied_key}
+        assert skeleton <= applied, f"{name} lost the GEMM skeleton"
+
+
+def test_solver_variants_all_bound(gen):
+    for v in ALL_VARIANTS:
+        if v.family != "TRSM":
+            continue
+        applied = {k[0] for k in gen.generate(v.name).applied_key}
+        assert "binding_triangular" in applied, f"{v.name} not serialised"
+
+
+def test_oa_flat_across_mult_variants(gen):
+    values = [
+        gen.generate(v.name).gflops(512)
+        for v in ALL_VARIANTS
+        if v.family in ("GEMM", "SYMM", "TRMM")
+    ]
+    assert max(values) / min(values) <= 2.0

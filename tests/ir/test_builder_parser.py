@@ -1,0 +1,150 @@
+"""Tests for the labeled-source parser and programmatic builders."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Loop,
+    ParseError,
+    Recip,
+    ScalarRef,
+    parse_affine,
+    parse_expr,
+    parse_labeled_source,
+    var,
+)
+
+
+GEMM_NN = """
+Li: for (i = 0; i < M; i++)
+Lj:   for (j = 0; j < N; j++)
+Lk:     for (k = 0; k < K; k++)
+          C[i][j] += A[i][k] * B[k][j];
+"""
+
+
+class TestAffineParsing:
+    def test_simple_var(self):
+        assert parse_affine("i") == var("i")
+
+    def test_sum(self):
+        assert parse_affine("i + 2*j - 3") == var("i") + var("j") * 2 - 3
+
+    def test_var_times_const(self):
+        assert parse_affine("i*16") == var("i") * 16
+
+    def test_parenthesised(self):
+        assert parse_affine("(i + 1)") == var("i") + 1
+
+    def test_leading_minus(self):
+        assert parse_affine("-i + M") == var("M") - var("i")
+
+    def test_nonaffine_rejected(self):
+        with pytest.raises(ParseError):
+            parse_affine("i * j")
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_affine("i + 1 )")
+
+
+class TestExprParsing:
+    def test_mac(self):
+        e = parse_expr("A[i][k] * B[k][j]")
+        assert isinstance(e, BinOp) and e.op == "*"
+        assert isinstance(e.left, ArrayRef) and e.left.array == "A"
+
+    def test_scalar_and_const(self):
+        e = parse_expr("alpha * A[i][k] + 2")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, Const)
+
+    def test_reciprocal_is_folded(self):
+        e = parse_expr("1 / A[i][i]")
+        assert isinstance(e, Recip)
+
+    def test_division(self):
+        e = parse_expr("B[i][j] / A[i][i]")
+        assert isinstance(e, BinOp) and e.op == "/"
+
+    def test_scalar_ref(self):
+        assert parse_expr("beta") == ScalarRef("beta")
+
+
+class TestLabeledSource:
+    def test_gemm_nn_structure(self):
+        nodes = parse_labeled_source(GEMM_NN)
+        assert len(nodes) == 1
+        li = nodes[0]
+        assert isinstance(li, Loop) and li.label == "Li" and li.var == "i"
+        lj = li.body[0]
+        assert isinstance(lj, Loop) and lj.label == "Lj"
+        lk = lj.body[0]
+        assert isinstance(lk, Loop) and lk.label == "Lk"
+        stmt = lk.body[0]
+        assert isinstance(stmt, Assign) and stmt.op == "+="
+
+    def test_le_bound_normalised(self):
+        nodes = parse_labeled_source(
+            "Lk: for (k = 0; k <= i; k++) C[i][k] = A[i][k];"
+        )
+        loop = nodes[0]
+        assert loop.upper == var("i") + 1
+
+    def test_braces(self):
+        src = """
+        Li: for (i = 0; i < M; i++) {
+            C[i][i] = A[i][i];
+            D[i][i] = A[i][i];
+        }
+        """
+        nodes = parse_labeled_source(src)
+        assert len(nodes[0].body) == 2
+
+    def test_step(self):
+        nodes = parse_labeled_source(
+            "Lii: for (ii = 0; ii < M; ii += 16) C[ii][ii] = A[ii][ii];"
+        )
+        assert nodes[0].step == 16
+
+    def test_statement_labels(self):
+        nodes = parse_labeled_source("Ld: C[i][i] += A[i][i] * B[i][i];")
+        assert nodes[0].label == "Ld"
+
+    def test_comments_ignored(self):
+        nodes = parse_labeled_source(
+            "Li: for (i = 0; i < M; i++) // real area\n  C[i][i] = A[i][i];"
+        )
+        assert isinstance(nodes[0], Loop)
+
+    def test_bad_loop_condition_var(self):
+        with pytest.raises(ParseError):
+            parse_labeled_source("Li: for (i = 0; j < M; i++) C[i][i] = A[i][i];")
+
+    def test_unsupported_condition_op(self):
+        with pytest.raises(ParseError):
+            parse_labeled_source("Li: for (i = 0; i > M; i++) C[i][i] = A[i][i];")
+
+    def test_scalar_target_rejected(self):
+        with pytest.raises(ParseError):
+            parse_labeled_source("x = A[0][0];")
+
+    def test_symm_pattern_from_paper(self):
+        # The SYMM-LN source from Fig. 14.
+        src = """
+        Li: for (i = 0; i < M; i++)
+        Lj:   for (j = 0; j < N; j++) {
+        Lk:     for (k = 0; k < i; k++) {
+                  C[i][j] += A[i][k] * B[k][j];
+                  C[k][j] += A[i][k] * B[i][j];
+                }
+        Ld:     C[i][j] += A[i][i] * B[i][j];
+              }
+        """
+        nodes = parse_labeled_source(src)
+        lj = nodes[0].body[0]
+        assert len(lj.body) == 2  # Lk loop + diagonal statement
+        assert isinstance(lj.body[1], Assign) and lj.body[1].label == "Ld"

@@ -1,0 +1,216 @@
+"""Tests for the PolyDeps-like dependence analysis."""
+
+import pytest
+
+from repro.ir import (
+    Array,
+    ArrayRef,
+    analyze_dependences,
+    build_computation,
+    carries_dependence,
+    fusion_legal,
+    gcd_test,
+    interchange_legal,
+    parse_labeled_source,
+    var,
+)
+
+
+class TestGCD:
+    def test_same_cell_possible(self):
+        a = ArrayRef("A", [var("i"), var("k")])
+        b = ArrayRef("A", [var("i"), var("k")])
+        assert gcd_test(a, b)
+
+    def test_different_arrays_independent(self):
+        assert not gcd_test(ArrayRef("A", [var("i")]), ArrayRef("B", [var("i")]))
+
+    def test_constant_offset_parity(self):
+        # A[2i] vs A[2i+1] can never alias: 2x - 2y = 1 has no integer solution.
+        a = ArrayRef("A", [var("i") * 2])
+        b = ArrayRef("A", [var("i") * 2 + 1])
+        assert not gcd_test(a, b)
+
+    def test_distinct_constants(self):
+        assert not gcd_test(ArrayRef("A", [var("i") * 0 + 3]), ArrayRef("A", [var("i") * 0 + 4]))
+
+    def test_shifted_alias_possible(self):
+        a = ArrayRef("A", [var("i")])
+        b = ArrayRef("A", [var("i") + 1])
+        assert gcd_test(a, b)
+
+
+class TestAnalyze:
+    def test_gemm_reduction_carried_by_k(self):
+        body = parse_labeled_source(
+            """
+            Li: for (i = 0; i < M; i++)
+            Lj:   for (j = 0; j < N; j++)
+            Lk:     for (k = 0; k < K; k++)
+                      C[i][j] += A[i][k] * B[k][j];
+            """
+        )
+        deps = analyze_dependences(body, {"M": 4, "N": 4, "K": 4})
+        flows = [d for d in deps if d.kind == "flow" and d.loop_carried()]
+        assert flows, "the k reduction must carry a flow dependence"
+        assert all(d.direction[0] == "=" and d.direction[1] == "=" for d in flows)
+        assert not carries_dependence(body, 0)
+        assert not carries_dependence(body, 1)
+        assert carries_dependence(body, 2)
+
+    def test_trsm_carried_by_i(self):
+        body = parse_labeled_source(
+            """
+            Li: for (i = 0; i < M; i++)
+            Lj:   for (j = 0; j < N; j++)
+            Lk:     for (k = 0; k < i; k++)
+                      B[i][j] -= A[i][k] * B[k][j];
+            """
+        )
+        # B[i][j] written at iteration i is read at iterations i' > i (as B[k][j]).
+        assert carries_dependence(body, 0)
+        assert not carries_dependence(body, 1)
+
+    def test_stream_no_deps(self):
+        body = parse_labeled_source(
+            "Li: for (i = 0; i < M; i++) C[i][0] = A[i][0];"
+        )
+        deps = analyze_dependences(body)
+        assert all(not d.loop_carried() for d in deps)
+
+
+class TestInterchange:
+    def test_gemm_ij_interchange_legal(self):
+        body = parse_labeled_source(
+            """
+            Li: for (i = 0; i < M; i++)
+            Lj:   for (j = 0; j < N; j++)
+            Lk:     for (k = 0; k < K; k++)
+                      C[i][j] += A[i][k] * B[k][j];
+            """
+        )
+        assert interchange_legal(body, 0, 1)
+        assert interchange_legal(body, 0, 2)
+
+    def test_wavefront_interchange_illegal(self):
+        # A[i][j] depends on A[i-1][j+1]: direction (<, >) blocks interchange.
+        body = parse_labeled_source(
+            """
+            Li: for (i = 1; i < M; i++)
+            Lj:   for (j = 0; j < N - 1; j++)
+                    A[i][j] = A[i-1][j+1];
+            """
+        )
+        assert not interchange_legal(body, 0, 1)
+
+
+class TestFusion:
+    def test_independent_loops_fusable(self):
+        a, b = parse_labeled_source(
+            """
+            L1: for (i = 0; i < M; i++)
+                  C[i][0] = A[i][0];
+            L2: for (i = 0; i < M; i++)
+                  D[i][0] = B[i][0];
+            """
+        )
+        assert fusion_legal(a, b)
+
+    def test_producer_consumer_fusable(self):
+        # Same-iteration flow: C produced at i consumed at i — fusion keeps order.
+        a, b = parse_labeled_source(
+            """
+            L1: for (i = 0; i < M; i++)
+                  C[i][0] = A[i][0];
+            L2: for (i = 0; i < M; i++)
+                  D[i][0] = C[i][0];
+            """
+        )
+        assert fusion_legal(a, b)
+
+    def test_backward_flow_blocks_fusion(self):
+        # Second loop at iteration i reads C[i+1], produced by the first loop
+        # at iteration i+1: fusing reverses that dependence.
+        a, b = parse_labeled_source(
+            """
+            L1: for (i = 0; i < M; i++)
+                  C[i][0] = A[i][0];
+            L2: for (i = 0; i < M - 1; i++)
+                  D[i][0] = C[i+1][0];
+            """
+        )
+        assert not fusion_legal(a, b)
+
+    def test_mismatched_bounds_rejected(self):
+        a, b = parse_labeled_source(
+            """
+            L1: for (i = 0; i < M; i++)
+                  C[i][0] = A[i][0];
+            L2: for (i = 0; i < N; i++)
+                  D[i][0] = B[i][0];
+            """
+        )
+        assert not fusion_legal(a, b)
+
+    def test_renamed_var_domains_align(self):
+        a, b = parse_labeled_source(
+            """
+            L1: for (i = 0; i < M; i++)
+                  C[i][0] = A[i][0];
+            L2: for (k = 0; k < M; k++)
+                  D[k][0] = C[k][0];
+            """
+        )
+        assert fusion_legal(a, b)
+
+
+class TestBanerjee:
+    def test_disjoint_ranges_proven_independent(self):
+        from repro.ir import banerjee_test, may_alias
+        from repro.ir import ArrayRef, var
+
+        # A[i] with i in [0,7] vs A[j+16] with j in [0,7]: never equal.
+        a = ArrayRef("A", [var("i")])
+        b = ArrayRef("A", [var("j") + 16])
+        bounds = {"i": (0, 7), "j": (0, 7)}
+        assert not banerjee_test(a, b, bounds)
+        assert not may_alias(a, b, bounds)
+
+    def test_overlapping_ranges_possible(self):
+        from repro.ir import banerjee_test
+        from repro.ir import ArrayRef, var
+
+        a = ArrayRef("A", [var("i")])
+        b = ArrayRef("A", [var("j") + 4])
+        assert banerjee_test(a, b, {"i": (0, 7), "j": (0, 7)})
+
+    def test_negative_coefficients(self):
+        from repro.ir import banerjee_test
+        from repro.ir import ArrayRef, var
+
+        # A[8 - i] vs A[j]: ranges overlap for i,j in [0,8].
+        a = ArrayRef("A", [8 - var("i")])
+        b = ArrayRef("A", [var("j")])
+        assert banerjee_test(a, b, {"i": (0, 8), "j": (0, 8)})
+        # But not when j is forced above the reachable range.
+        assert not banerjee_test(a, b, {"i": (0, 3), "j": (10, 12)})
+
+    def test_complements_gcd(self):
+        from repro.ir import banerjee_test, gcd_test, may_alias
+        from repro.ir import ArrayRef, var
+
+        # Same parity (GCD passes) but disjoint ranges (Banerjee refutes).
+        a = ArrayRef("A", [var("i") * 2])
+        b = ArrayRef("A", [var("j") * 2 + 100])
+        bounds = {"i": (0, 10), "j": (0, 10)}
+        assert gcd_test(a, b)
+        assert not banerjee_test(a, b, bounds)
+        assert not may_alias(a, b, bounds)
+
+    def test_unbounded_vars_conservative(self):
+        from repro.ir import banerjee_test
+        from repro.ir import ArrayRef, var
+
+        a = ArrayRef("A", [var("i")])
+        b = ArrayRef("A", [var("z") + 1000])
+        assert banerjee_test(a, b, {"i": (0, 4)})  # z unbounded: cannot rule out

@@ -1,0 +1,64 @@
+"""Tests for the reporting data collectors (with a small injected space
+so no full-size search runs here)."""
+
+import pytest
+
+from repro.gpu import GTX_285
+from repro.reporting import data as reporting_data
+from repro.reporting.data import (
+    SpeedupRow,
+    best_scripts,
+    problem_size_series,
+    speedup_rows,
+    symm_profile,
+)
+from repro.tuner import LibraryGenerator
+
+SMALL_SPACE = [{"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2}]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def small_generator():
+    """Swap the process-wide generator for a fast small-space one."""
+    saved = dict(reporting_data._GENERATORS)
+    reporting_data._GENERATORS.clear()
+    reporting_data._GENERATORS[GTX_285.name] = LibraryGenerator(
+        GTX_285, space=SMALL_SPACE
+    )
+    yield
+    reporting_data._GENERATORS.clear()
+    reporting_data._GENERATORS.update(saved)
+
+
+class TestSpeedupRows:
+    def test_subset(self):
+        rows = speedup_rows(GTX_285, n=512, names=["GEMM-NN", "SYMM-LL"])
+        assert [r.routine for r in rows] == ["GEMM-NN", "SYMM-LL"]
+        for r in rows:
+            assert r.oa_gflops > 0 and r.cublas_gflops > 0
+
+    def test_speedup_property(self):
+        row = SpeedupRow("X", 100.0, 50.0)
+        assert row.speedup == 2.0
+        assert row.magma_speedup is None
+
+    def test_magma_rows(self):
+        rows = speedup_rows(GTX_285, n=512, names=["GEMM-NN", "TRMM-LL-N"], include_magma=True)
+        by = {r.routine: r for r in rows}
+        assert by["GEMM-NN"].magma_gflops is not None
+        assert by["TRMM-LL-N"].magma_gflops is None
+
+
+class TestSeriesAndProfiles:
+    def test_problem_size_series(self):
+        series = problem_size_series(GTX_285, ["GEMM-NN"], sizes=(256, 512))
+        assert len(series["GEMM-NN"]) == 2
+
+    def test_symm_profile_pair(self):
+        cublas, oa = symm_profile(GTX_285, n=512)
+        assert cublas.instructions > oa.instructions
+
+    def test_best_scripts(self):
+        tuned = best_scripts(GTX_285, ["TRSM-LL-N"])
+        comps = {k[0] for k in tuned["TRSM-LL-N"].applied_key}
+        assert "binding_triangular" in comps

@@ -1,0 +1,41 @@
+"""Tests for the text renderers used by the benchmark harness."""
+
+from repro.reporting import ascii_table, bar, bar_chart, series_chart
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        text = ascii_table(["name", "value"], [("a", 1.0), ("longer", 123.0)])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title(self):
+        text = ascii_table(["x"], [(1,)], title="T")
+        assert text.startswith("T\n")
+
+    def test_float_formatting(self):
+        text = ascii_table(["v"], [(1234567.0,), (0.12345,), (0.0,)])
+        assert "1.2M" in text and "0.12" in text
+
+    def test_empty_rows(self):
+        text = ascii_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestBars:
+    def test_bar_scaling(self):
+        assert bar(10, 10, width=10) == "#" * 10
+        assert bar(5, 10, width=10) == "#" * 5
+        assert bar(0, 10, width=10) == ""
+
+    def test_bar_zero_max(self):
+        assert bar(5, 0) == ""
+
+    def test_bar_chart_groups(self):
+        text = bar_chart([("r1", {"OA": 10.0, "CUBLAS": 5.0})])
+        assert "OA" in text and "CUBLAS" in text
+        assert text.count("#") > 0
+
+    def test_series_chart(self):
+        text = series_chart([512, 1024], {"GEMM": [100.0, 200.0]})
+        assert "512" in text and "GEMM" in text

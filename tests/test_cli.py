@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_routines(self, capsys):
+        assert main(["routines"]) == 0
+        out = capsys.readouterr().out
+        assert "TRSM-LL-N" in out and "Adaptor_Solver(A)" in out
+
+    def test_adaptors(self, capsys):
+        assert main(["adaptors"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptor Adaptor_Symmetry(X):" in out
+        assert "cond(blank(X).zero = true)" in out
+
+    def test_candidates(self, capsys):
+        assert main(["candidates", "GEMM-TN", "--arch", "gtx285"]) == 0
+        out = capsys.readouterr().out
+        assert "GM_map(A, Transpose);" in out
+
+    def test_generate(self, capsys):
+        assert main(["generate", "GEMM-NN", "--arch", "gtx285", "-n", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "thread_grouping" in out and "GFLOPS" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "GEMM-NN", "--arch", "gtx285"]) == 0
+        out = capsys.readouterr().out
+        assert "CUBLAS 3.2" in out and "MAGMA v0.2" in out
+
+    def test_cuda(self, capsys):
+        assert main(["cuda", "GEMM-NN", "--arch", "fermi"]) == 0
+        assert "__global__" in capsys.readouterr().out
+
+    def test_bad_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_arch(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "GEMM-NN", "--arch", "voodoo3"])

@@ -1,0 +1,85 @@
+"""Tests for the multi-GPU extension (the paper's §VII future work)."""
+
+import numpy as np
+import pytest
+
+from repro.blas3 import random_inputs, reference
+from repro.gpu import GTX_285
+from repro.multigpu import MultiGPULibrary
+from repro.tuner import LibraryGenerator
+
+SMALL_SPACE = [{"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2}]
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return LibraryGenerator(GTX_285, space=SMALL_SPACE)
+
+
+@pytest.fixture(scope="module")
+def lib2(gen):
+    return MultiGPULibrary(GTX_285, num_devices=2, generator=gen)
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("name", ["GEMM-NN", "SYMM-LL", "TRMM-LL-N", "TRSM-LL-N"])
+    def test_left_side_matches_reference(self, lib2, name):
+        sizes = {"M": 32, "N": 32}
+        if name == "GEMM-NN":
+            sizes["K"] = 16
+        inputs = random_inputs(name, sizes, seed=21)
+        got = lib2.run(name, inputs)
+        np.testing.assert_allclose(
+            got, reference(name, inputs), rtol=4e-3, atol=4e-3
+        )
+
+    def test_right_side_matches_reference(self, lib2):
+        inputs = random_inputs("TRMM-RU-N", {"M": 32, "N": 32}, seed=22)
+        got = lib2.run("TRMM-RU-N", inputs)
+        np.testing.assert_allclose(
+            got, reference("TRMM-RU-N", inputs), rtol=4e-3, atol=4e-3
+        )
+
+    def test_alpha_beta(self, lib2):
+        inputs = random_inputs("GEMM-NN", {"M": 32, "N": 32, "K": 16}, seed=23)
+        got = lib2.run("GEMM-NN", inputs, alpha=2.0, beta=-0.5)
+        np.testing.assert_allclose(
+            got, reference("GEMM-NN", inputs, alpha=2.0, beta=-0.5), rtol=4e-3, atol=4e-3
+        )
+
+    def test_indivisible_split_rejected(self, lib2):
+        inputs = random_inputs("GEMM-NN", {"M": 32, "N": 31, "K": 16}, seed=24)
+        with pytest.raises(ValueError):
+            lib2.run("GEMM-NN", inputs)
+
+    def test_single_device_degenerate(self, gen):
+        lib1 = MultiGPULibrary(GTX_285, num_devices=1, generator=gen)
+        inputs = random_inputs("GEMM-NN", {"M": 32, "N": 32, "K": 16}, seed=25)
+        got = lib1.run("GEMM-NN", inputs)
+        np.testing.assert_allclose(
+            got, reference("GEMM-NN", inputs), rtol=4e-3, atol=4e-3
+        )
+
+
+class TestScalingModel:
+    def test_two_devices_faster_at_large_n(self, gen):
+        lib1 = MultiGPULibrary(GTX_285, 1, generator=gen)
+        lib2 = MultiGPULibrary(GTX_285, 2, generator=gen)
+        assert lib2.gflops("GEMM-NN", 4096) > 1.4 * lib1.gflops("GEMM-NN", 4096)
+
+    def test_broadcast_limits_scaling(self, gen):
+        # At small sizes the PCIe broadcast of A eats the gains.
+        lib8 = MultiGPULibrary(GTX_285, 8, generator=gen)
+        t = lib8.timing("SYMM-LL", 512)
+        assert t.broadcast_s > 0
+        scaling = lib8.scaling("SYMM-LL", 512, devices=(1, 8))
+        assert scaling[8] < 8 * scaling[1]
+
+    def test_scaling_monotone_devices(self, gen):
+        lib = MultiGPULibrary(GTX_285, 2, generator=gen)
+        s = lib.scaling("GEMM-NN", 4096, devices=(1, 2, 4))
+        assert s[1] < s[2] < s[4]
+
+    def test_bad_device_count(self):
+        with pytest.raises(ValueError):
+            MultiGPULibrary(GTX_285, 0)

@@ -1,0 +1,58 @@
+"""Tests for the top-level OAFramework facade."""
+
+import pytest
+
+from repro import GTX_285, OAFramework
+
+SMALL_SPACE = [{"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2}]
+
+
+@pytest.fixture(scope="module")
+def oa():
+    return OAFramework(GTX_285, space=SMALL_SPACE)
+
+
+def test_routines_list(oa):
+    assert len(oa.routines()) == 24
+    assert "TRSM-LL-N" in oa.routines()
+
+
+def test_adaptor_catalog(oa):
+    assert set(oa.adaptors()) == {
+        "Adaptor_Transpose",
+        "Adaptor_Symmetry",
+        "Adaptor_Triangular",
+        "Adaptor_Solver",
+    }
+
+
+def test_candidates_shape(oa):
+    # Adaptor_Triangular over the 3-component polyhedral base: 1 + 4 + 4.
+    assert len(oa.candidates("TRMM-LL-N")) == 9
+    assert len(oa.candidates("GEMM-NN")) == 1
+
+
+def test_generate_and_gflops(oa):
+    tuned = oa.generate("GEMM-NN")
+    assert tuned.name == "GEMM-NN"
+    assert oa.gflops("GEMM-NN", 512) > 0
+
+
+def test_best_script_text(oa):
+    text = oa.best_script("GEMM-NN")
+    assert "thread_grouping" in text
+
+
+def test_cuda_emission(oa):
+    assert "__global__" in oa.cuda("GEMM-NN")
+
+
+def test_compose_walkthrough(oa):
+    outcome = oa.compose("TRMM-LL-N")
+    assert len(outcome.candidates) == 9
+    assert len(outcome.report.semi_output) == 7
+
+
+def test_library_subset(oa):
+    lib = oa.library(["GEMM-NN"])
+    assert lib.names() == ["GEMM-NN"]

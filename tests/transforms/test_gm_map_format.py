@@ -1,0 +1,156 @@
+"""Tests for GM_map and format_iteration (the Adaptor_Symmetry machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Array, Loop, build_computation, interpret, validate, var
+from repro.transforms import (
+    FormatIteration,
+    GMMap,
+    ThreadGrouping,
+    TransformError,
+    TransformFailure,
+)
+
+from .conftest import PARAMS, gemm_comp, run_symm, symm_comp
+
+
+GEMM_TN_SRC = """
+Li: for (i = 0; i < M; i++)
+Lj:   for (j = 0; j < N; j++)
+Lk:     for (k = 0; k < K; k++)
+          C[i][j] += A[k][i] * B[k][j];
+"""
+
+
+def gemm_tn_comp():
+    return build_computation(
+        "GEMM-TN",
+        GEMM_TN_SRC,
+        [
+            Array("A", (var("K"), var("M"))),
+            Array("B", (var("K"), var("N"))),
+            Array("C", (var("M"), var("N"))),
+        ],
+    )
+
+
+class TestGMMapTranspose:
+    def test_creates_remap_stage(self):
+        comp = GMMap().apply(gemm_tn_comp(), ("A", "Transpose"), {}).comp
+        assert comp.stages[0].role == "remap"
+        assert comp.array("A_t").dims == (var("M"), var("K"))
+
+    def test_rewrites_to_nn_pattern(self):
+        comp = GMMap().apply(gemm_tn_comp(), ("A", "Transpose"), {}).comp
+        stmt = comp.find_loop("Lk").body[0]
+        refs = {r.array: r for r in stmt.expr.array_refs()}
+        # A[k][i] became A_t[i][k] — the GEMM-NN access pattern.
+        assert str(refs["A_t"]) == "A_t[i][k]"
+
+    def test_functional_tn(self):
+        comp = GMMap().apply(gemm_tn_comp(), ("A", "Transpose"), {}).comp
+        validate(comp)
+        rng = np.random.default_rng(0)
+        m, n, k = 6, 5, 7
+        a = rng.standard_normal((k, m)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        out = interpret(comp, {"M": m, "N": n, "K": k}, {"A": a, "B": b})
+        np.testing.assert_allclose(out["C"], a.T @ b, rtol=1e-4)
+
+    def test_must_be_first(self):
+        grouped = ThreadGrouping().apply(gemm_comp(), ("Li", "Lj"), PARAMS).comp
+        with pytest.raises(TransformFailure):
+            GMMap().apply(grouped, ("B", "Transpose"), {})
+
+    def test_symmetry_requires_symmetric_matrix(self):
+        with pytest.raises(TransformFailure):
+            GMMap().apply(gemm_comp(), ("A", "Symmetry"), {})
+
+    def test_bad_mode(self):
+        with pytest.raises(TransformError):
+            GMMap().apply(gemm_comp(), ("A", "NoChange"), {})
+
+
+class TestGMMapSymmetry:
+    def test_full_matrix_created(self):
+        comp = GMMap().apply(symm_comp(), ("A", "Symmetry"), {}).comp
+        assert comp.array("A_full").source == "A"
+        assert comp.stages[0].role == "remap"
+
+    def test_shadow_ref_swapped(self):
+        comp = GMMap().apply(symm_comp(), ("A", "Symmetry"), {}).comp
+        lk = comp.find_loop("Lk")
+        shadow_stmt = lk.body[1]
+        a_refs = [r for r in shadow_stmt.expr.array_refs() if r.array == "A_full"]
+        assert str(a_refs[0]) == "A_full[k][i]"
+
+    def test_remap_computes_x_plus_xt_minus_diag(self):
+        comp = GMMap().apply(symm_comp(), ("A", "Symmetry"), {}).comp
+        rng = np.random.default_rng(1)
+        m = 5
+        a = np.tril(rng.standard_normal((m, m))).astype(np.float32)
+        out = interpret(comp, {"M": m, "N": 3}, {"A": a, "B": np.zeros((m, 3), np.float32)})
+        np.testing.assert_allclose(out["A_full"], a + a.T - np.diag(np.diag(a)), rtol=1e-5)
+
+
+class TestFormatIteration:
+    def test_rule2_fuses_to_gemm_nn(self):
+        # GM_map(Symmetry) then format_iteration: the paper's second rule.
+        comp = GMMap().apply(symm_comp(), ("A", "Symmetry"), {}).comp
+        result = FormatIteration().apply(comp, ("A", "Symmetry"), {})
+        assert any("fusion: ok" in n for n in result.notes)
+        lk = result.comp.find_loop("Lk")
+        assert lk.upper == var("M")  # full reduction range: standard GEMM-NN
+        lj = result.comp.find_loop("Lj")
+        assert len(lj.body) == 1  # diagonal statement absorbed
+
+    def test_rule2_functional(self):
+        comp = GMMap().apply(symm_comp(), ("A", "Symmetry"), {}).comp
+        comp = FormatIteration().apply(comp, ("A", "Symmetry"), {}).comp
+        validate(comp)
+        got, want = run_symm(comp)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+
+    def test_rule3_degenerates_to_fission(self):
+        # Without GM_map the statements differ: fission only (paper rule 3).
+        result = FormatIteration().apply(symm_comp(), ("A", "Symmetry"), {})
+        assert any("fusion: failed" in n for n in result.notes)
+        lj = result.comp.find_loop("Lj")
+        k_loops = [n for n in lj.body if isinstance(n, Loop)]
+        assert len(k_loops) == 2  # real + shadow, unfused
+
+    def test_rule3_functional(self):
+        comp = FormatIteration().apply(symm_comp(), ("A", "Symmetry"), {}).comp
+        validate(comp)
+        got, want = run_symm(comp)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+
+    def test_requires_mixed_mode_loop(self):
+        with pytest.raises(TransformFailure):
+            FormatIteration().apply(gemm_comp(), ("A", "Symmetry"), {})
+
+    def test_requires_ungrouped(self):
+        comp = GMMap().apply(symm_comp(), ("A", "Symmetry"), {}).comp
+        grouped = ThreadGrouping().apply(
+            FormatIteration().apply(comp, ("A", "Symmetry"), {}).comp,
+            ("Li", "Lj"),
+            PARAMS,
+        ).comp
+        with pytest.raises(TransformFailure):
+            FormatIteration().apply(grouped, ("A", "Symmetry"), {})
+
+    def test_full_symm_pipeline_functional(self):
+        # Fig. 14 SYMM-LN script end-to-end (minus search).
+        from repro.transforms import LoopTiling, LoopUnroll, RegAlloc, SMAlloc
+
+        comp = GMMap().apply(symm_comp(), ("A", "Symmetry"), {}).comp
+        comp = FormatIteration().apply(comp, ("A", "Symmetry"), {}).comp
+        r1 = ThreadGrouping().apply(comp, ("Li", "Lj"), PARAMS)
+        r2 = LoopTiling().apply(r1.comp, (*r1.labels, "Lk"), {})
+        r3 = LoopUnroll().apply(r2.comp, r2.labels[1:], {})
+        r4 = SMAlloc().apply(r3.comp, ("B", "Transpose"), {})
+        r5 = RegAlloc().apply(r4.comp, ("C",), {})
+        validate(r5.comp)
+        got, want = run_symm(r5.comp)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)

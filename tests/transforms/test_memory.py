@@ -1,0 +1,189 @@
+"""Tests for SM_alloc and Reg_alloc (footprints, padding, staging phases)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import validate
+from repro.transforms import (
+    LoopTiling,
+    LoopUnroll,
+    RegAlloc,
+    SMAlloc,
+    ThreadGrouping,
+    TransformFailure,
+)
+from repro.transforms.util import KernelStructure, phase_kind
+
+from .conftest import PARAMS, gemm_comp, run_gemm
+
+
+def pipeline(params=PARAMS):
+    r1 = ThreadGrouping().apply(gemm_comp(), ("Li", "Lj"), params)
+    r2 = LoopTiling().apply(r1.comp, (*r1.labels, "Lk"), {})
+    r3 = LoopUnroll().apply(r2.comp, r2.labels[1:], {})
+    return r3.comp
+
+
+class TestSMAlloc:
+    def test_shared_array_created(self):
+        comp = SMAlloc().apply(pipeline(), ("B", "Transpose"), {}).comp
+        arr = comp.array("B_s")
+        assert arr.storage == "shared" and arr.source == "B"
+        # Transposed tile of a (KT x BN) footprint -> (BN, KT).
+        assert arr.dims[0].constant_value == PARAMS["BN"]
+
+    def test_padding_on_bank_multiple(self):
+        # KT=16 -> minor dimension 16 -> padded to 17 (the paper's example).
+        params = dict(PARAMS, BM=16, BN=16, KT=16, TX=16, TY=4)
+        comp = SMAlloc().apply(pipeline(params), ("B", "Transpose"), {}).comp
+        arr = comp.array("B_s")
+        assert arr.pad == 1
+        assert arr.dims[1].constant_value == 17
+
+    def test_no_padding_otherwise(self):
+        comp = SMAlloc().apply(pipeline(), ("B", "Transpose"), {}).comp
+        assert comp.array("B_s").pad == 0
+
+    def test_copy_phase_inserted_in_tile_loop(self):
+        comp = SMAlloc().apply(pipeline(), ("B", "Transpose"), {}).comp
+        ks = KernelStructure(comp.main_stage)
+        kk = ks.sequential_block_loops()[0]
+        kinds = [phase_kind(p) for p in ks.phases()]
+        assert "copy" in kinds
+        # The copy phase lives inside the kk loop (per-tile staging).
+        inner_kinds = [
+            phase_kind(n) for n in kk.body if getattr(n, "mapped_to", None) == "thread.x"
+        ]
+        assert inner_kinds[0] == "copy"
+
+    def test_refs_rewritten(self):
+        comp = SMAlloc().apply(pipeline(), ("B", "Transpose"), {}).comp
+        from repro.ir.visitors import iter_statements
+
+        ks = KernelStructure(comp.main_stage)
+        compute = ks.compute_phases()[-1]
+        arrays = {
+            r.array for s in iter_statements([compute]) for r in s.all_refs()
+        }
+        assert "B_s" in arrays and "B" not in arrays
+
+    def test_functional(self):
+        comp = SMAlloc().apply(pipeline(), ("B", "Transpose"), {}).comp
+        validate(comp)
+        got, want = run_gemm(comp)
+        np.testing.assert_allclose(got, want, rtol=1e-4)
+
+    def test_nochange_mode_functional(self):
+        comp = SMAlloc().apply(pipeline(), ("A", "NoChange"), {}).comp
+        got, want = run_gemm(comp)
+        np.testing.assert_allclose(got, want, rtol=1e-4)
+
+    def test_double_alloc_rejected(self):
+        comp = SMAlloc().apply(pipeline(), ("B", "Transpose"), {}).comp
+        with pytest.raises(TransformFailure):
+            SMAlloc().apply(comp, ("B", "Transpose"), {})
+
+    def test_written_array_not_stageable(self):
+        with pytest.raises(TransformFailure):
+            SMAlloc().apply(pipeline(), ("C", "NoChange"), {})
+
+    def test_unknown_mode_is_error(self):
+        from repro.transforms import TransformError
+
+        with pytest.raises(TransformError):
+            SMAlloc().apply(pipeline(), ("B", "Diagonal"), {})
+
+
+class TestRegAlloc:
+    def test_register_array_created(self):
+        comp = RegAlloc().apply(pipeline(), ("C",), {}).comp
+        arr = comp.array("C_r")
+        assert arr.storage == "register"
+        # dims: (TX, TY, mt, nt)
+        dims = [d.constant_value for d in arr.dims]
+        assert dims == [
+            PARAMS["TX"],
+            PARAMS["TY"],
+            PARAMS["BM"] // PARAMS["TX"],
+            PARAMS["BN"] // PARAMS["TY"],
+        ]
+
+    def test_staging_phases(self):
+        comp = RegAlloc().apply(pipeline(), ("C",), {}).comp
+        ks = KernelStructure(comp.main_stage)
+        kinds = [phase_kind(p) for p in ks.phases()]
+        assert kinds[0] == "regload" and kinds[-1] == "regstore"
+
+    def test_functional(self):
+        comp = RegAlloc().apply(pipeline(), ("C",), {}).comp
+        validate(comp)
+        got, want = run_gemm(comp)
+        np.testing.assert_allclose(got, want, rtol=1e-4)
+
+    def test_combined_with_smalloc(self):
+        comp = SMAlloc().apply(pipeline(), ("B", "Transpose"), {}).comp
+        comp = RegAlloc().apply(comp, ("C",), {}).comp
+        validate(comp)
+        got, want = run_gemm(comp, m=16, n=16, k=16, seed=7)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+
+    def test_non_uniform_refs_fail(self):
+        # B in TRSM is read at B[k][j] and written at B[i][j]: promotion fails.
+        from .conftest import trsm_comp
+
+        r1 = ThreadGrouping().apply(trsm_comp(), ("Li", "Lj"), PARAMS)
+        r2 = LoopTiling().apply(r1.comp, (*r1.labels, "Lk"), {})
+        with pytest.raises(TransformFailure):
+            RegAlloc().apply(r2.comp, ("B",), {})
+
+    def test_unknown_array_fails(self):
+        from .conftest import trsm_comp
+
+        r1 = ThreadGrouping().apply(trsm_comp(), ("Li", "Lj"), PARAMS)
+        with pytest.raises(TransformFailure):
+            RegAlloc().apply(r1.comp, ("C",), {})
+
+
+class TestSMAllocSymmetry:
+    """SM_alloc(X, Symmetry): the third Adaptor_Symmetry rule stages the
+    symmetric tile by mirroring the stored triangle (guarded copy)."""
+
+    def _symm_rule3(self):
+        from repro.epod import parse_script, translate
+        from .conftest import symm_comp
+
+        script = parse_script(
+            """
+            format_iteration(A, Symmetry);
+            (Lii, Ljj) = thread_grouping((Li, Lj));
+            (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+            SM_alloc(A, Symmetry);
+            """
+        )
+        return translate(symm_comp(), script, params=dict(PARAMS), mode="filter")
+
+    def test_symmetry_tile_created(self):
+        result = self._symm_rule3()
+        applied = [i.component for i in result.applied]
+        assert "SM_alloc" in applied
+        assert "A_s" in result.comp.arrays
+
+    def test_guarded_mirror_copy(self):
+        from repro.ir import Guard
+        from repro.ir.visitors import walk
+
+        result = self._symm_rule3()
+        guards = [
+            n
+            for n in walk(result.comp.main_stage.body)
+            if isinstance(n, Guard) and n.else_body
+        ]
+        assert guards, "Symmetry staging must mirror through a guard"
+
+    def test_functional(self):
+        import numpy as np
+        from .conftest import run_symm
+
+        result = self._symm_rule3()
+        got, want = run_symm(result.comp)
+        np.testing.assert_allclose(got, want, rtol=2e-3, atol=2e-3)

@@ -1,0 +1,137 @@
+"""Property-based tests: transformation pipelines preserve semantics
+across random configurations, sizes and seeds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blas3 import BASE_GEMM_SCRIPT, build_routine, random_inputs, reference
+from repro.epod import parse_script, translate
+from repro.ir import interpret
+from repro.transforms.footprint import VarRange, split_base_span
+from repro.ir.affine import AffineExpr, aff
+
+CONFIGS = [
+    {"BM": 8, "BN": 8, "KT": 4, "TX": 4, "TY": 2},
+    {"BM": 16, "BN": 8, "KT": 4, "TX": 8, "TY": 1},
+    {"BM": 16, "BN": 16, "KT": 8, "TX": 4, "TY": 4},
+    {"BM": 8, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
+]
+
+FULL = parse_script(BASE_GEMM_SCRIPT)
+
+
+class TestPipelineProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        cfg=st.sampled_from(CONFIGS),
+        mtiles=st.integers(1, 3),
+        ntiles=st.integers(1, 3),
+        ktiles=st.integers(1, 3),
+        seed=st.integers(0, 10**6),
+    )
+    def test_gemm_pipeline_any_config(self, cfg, mtiles, ntiles, ktiles, seed):
+        comp = build_routine("GEMM-NN")
+        result = translate(comp, FULL, params=cfg)
+        sizes = {
+            "M": cfg["BM"] * mtiles,
+            "N": cfg["BN"] * ntiles,
+            "K": cfg["KT"] * ktiles,
+        }
+        inputs = random_inputs("GEMM-NN", sizes, seed=seed)
+        out = interpret(result.comp, sizes, inputs)
+        np.testing.assert_allclose(
+            out["C"], reference("GEMM-NN", inputs), rtol=4e-3, atol=4e-3
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        cfg=st.sampled_from(CONFIGS),
+        seed=st.integers(0, 10**6),
+        name=st.sampled_from(["TRMM-LL-N", "TRMM-LU-N", "TRMM-RL-N", "TRMM-RU-N"]),
+    )
+    def test_trmm_padding_pipeline(self, cfg, seed, name):
+        from repro.blas3 import get_spec
+
+        spec = get_spec(name)
+        roles = dict(spec.role_map)
+        script = parse_script(
+            f"""
+            (Lii, Ljj) = thread_grouping((Li, Lj));
+            (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+            padding_triangular(A);
+            loop_unroll(Ljjj, Lkkk);
+            SM_alloc({roles['B']}, Transpose);
+            Reg_alloc({roles['C']});
+            """
+        )
+        comp = build_routine(name)
+        result = translate(comp, script, params=cfg, mode="filter")
+        n = 2 * max(cfg["BM"], cfg["BN"])
+        sizes = {"M": n, "N": n}
+        inputs = random_inputs(name, sizes, seed=seed)
+        out = interpret(result.comp, sizes, inputs)
+        np.testing.assert_allclose(
+            out["C"], reference(name, inputs), rtol=4e-3, atol=4e-3
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(cfg=st.sampled_from(CONFIGS), seed=st.integers(0, 10**6))
+    def test_trsm_solver_pipeline(self, cfg, seed):
+        script = parse_script(
+            """
+            (Lii, Ljj) = thread_grouping((Li, Lj));
+            (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+            peel_triangular(A);
+            binding_triangular(A, 0);
+            SM_alloc(B, Transpose);
+            """
+        )
+        comp = build_routine("TRSM-LL-N")
+        result = translate(comp, script, params=cfg, mode="filter")
+        n = 2 * max(cfg["BM"], cfg["BN"])
+        sizes = {"M": n, "N": n}
+        inputs = random_inputs("TRSM-LL-N", sizes, seed=seed)
+        for order in ("asc", "desc"):
+            out = interpret(result.comp, sizes, inputs, thread_order=order)
+            np.testing.assert_allclose(
+                out["B"], reference("TRSM-LL-N", inputs), rtol=5e-3, atol=5e-3
+            )
+
+
+names = st.sampled_from(["tx", "ty", "a", "b", "k"])
+
+
+@st.composite
+def range_env(draw):
+    ranges = {}
+    for name in ["tx", "ty", "a", "b"]:
+        trip = draw(st.integers(1, 4))
+        ranges[name] = VarRange(aff(0), trip, 1)
+    return ranges
+
+
+class TestFootprintProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ranges=range_env(),
+        coeffs=st.dictionaries(names, st.integers(-4, 4), max_size=4),
+        offset=st.integers(-10, 10),
+    )
+    def test_split_base_span_bounds(self, ranges, coeffs, offset):
+        expr = AffineExpr({k: v for k, v in coeffs.items() if k in ranges}, offset)
+        base, span = split_base_span(expr, ranges)
+        assert span >= 0
+        # Sample corner points of the box: expr value must lie in
+        # [base, base + span].
+        import itertools
+
+        vars_ = sorted(set(expr.terms) & set(ranges))
+        corners = itertools.product(
+            *[[0, (ranges[v].trip - 1) * ranges[v].step] for v in vars_]
+        )
+        for corner in corners:
+            env = dict(zip(vars_, corner))
+            value = expr.evaluate(env)
+            lo = base.evaluate({})
+            assert lo <= value <= lo + span

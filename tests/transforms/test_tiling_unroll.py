@@ -1,0 +1,126 @@
+"""Tests for loop_tiling and loop_unroll (incl. the paper's degeneration)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import MinExpr, validate
+from repro.transforms import LoopTiling, LoopUnroll, ThreadGrouping, TransformFailure
+from repro.transforms.util import KernelStructure
+
+from .conftest import PARAMS, gemm_comp, run_gemm, run_trmm, trmm_comp
+
+
+def grouped_gemm(params=PARAMS):
+    r = ThreadGrouping().apply(gemm_comp(), ("Li", "Lj"), params)
+    return r.comp, r.labels
+
+
+def tiled_gemm(params=PARAMS):
+    comp, (lii, ljj) = grouped_gemm(params)
+    r = LoopTiling().apply(comp, (lii, ljj, "Lk"), {})
+    return r.comp, r.labels
+
+
+class TestTilingGemm:
+    def test_kk_loop_at_block_level(self):
+        comp, _ = tiled_gemm()
+        ks = KernelStructure(comp.main_stage)
+        seqs = ks.sequential_block_loops()
+        assert len(seqs) == 1 and seqs[0].var == "kk" and seqs[0].step == PARAMS["KT"]
+
+    def test_labels_returned(self):
+        comp, (liii, ljjj, lkkk) = tiled_gemm()
+        assert comp.find_loop(lkkk).var == "k"
+
+    def test_inner_k_trip_is_kt(self):
+        comp, (_, _, lkkk) = tiled_gemm()
+        loop = comp.find_loop(lkkk)
+        diff = loop.upper - loop.lower
+        assert diff.is_constant and diff.constant_value == PARAMS["KT"]
+
+    def test_valid_and_functional(self):
+        comp, _ = tiled_gemm()
+        validate(comp)
+        got, want = run_gemm(comp)
+        np.testing.assert_allclose(got, want, rtol=1e-4)
+
+    def test_requires_grouping_first(self):
+        with pytest.raises(TransformFailure):
+            LoopTiling().apply(gemm_comp(), ("Li", "Lj", "Lk"), {})
+
+    def test_unknown_reduction_label(self):
+        comp, (lii, ljj) = grouped_gemm()
+        with pytest.raises(TransformFailure):
+            LoopTiling().apply(comp, (lii, ljj, "Lz"), {})
+
+    @settings(max_examples=10, deadline=None)
+    @given(kt=st.sampled_from([2, 4, 8]), seed=st.integers(0, 100))
+    def test_functional_across_tile_sizes(self, kt, seed):
+        params = dict(PARAMS, KT=kt)
+        comp, (lii, ljj) = grouped_gemm(params)
+        comp2 = LoopTiling().apply(comp, (lii, ljj, "Lk"), {"KT": kt}).comp
+        got, want = run_gemm(comp2, seed=seed)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+
+
+class TestTilingTrmm:
+    def test_triangular_inner_bound_is_min(self):
+        r1 = ThreadGrouping().apply(trmm_comp(), ("Li", "Lj"), PARAMS)
+        r2 = LoopTiling().apply(r1.comp, (*r1.labels, "Lk"), {})
+        loop = r2.comp.find_loop(r2.labels[2])
+        assert isinstance(loop.upper, MinExpr)
+
+    def test_kk_upper_covers_block(self):
+        r1 = ThreadGrouping().apply(trmm_comp(), ("Li", "Lj"), PARAMS)
+        r2 = LoopTiling().apply(r1.comp, (*r1.labels, "Lk"), {})
+        ks = KernelStructure(r2.comp.main_stage)
+        kk = ks.sequential_block_loops()[0]
+        # upper = bi + BM (max of i+1 over the block's threads)
+        assert kk.upper.coeff("bi") == 1 and kk.upper.offset == PARAMS["BM"]
+
+    def test_functional(self):
+        r1 = ThreadGrouping().apply(trmm_comp(), ("Li", "Lj"), PARAMS)
+        r2 = LoopTiling().apply(r1.comp, (*r1.labels, "Lk"), {})
+        got, want = run_trmm(r2.comp)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+
+    def test_fission_on_sibling_statements(self):
+        # TRSM's division statement is fissioned into its own phase.
+        from .conftest import trsm_comp
+
+        r1 = ThreadGrouping().apply(trsm_comp(), ("Li", "Lj"), PARAMS)
+        r2 = LoopTiling().apply(r1.comp, (*r1.labels, "Lk"), {})
+        ks = KernelStructure(r2.comp.main_stage)
+        assert len(ks.compute_phases()) == 2  # reduction phase + division phase
+
+
+class TestUnroll:
+    def test_unroll_annotates(self):
+        comp, (liii, ljjj, lkkk) = tiled_gemm()
+        out = LoopUnroll().apply(comp, (ljjj, lkkk), {}).comp
+        assert out.find_loop(ljjj).unroll == PARAMS["BN"] // PARAMS["TY"]
+        assert out.find_loop(lkkk).unroll == PARAMS["KT"]
+
+    def test_unroll_preserves_semantics(self):
+        comp, (_, ljjj, lkkk) = tiled_gemm()
+        out = LoopUnroll().apply(comp, (ljjj, lkkk), {}).comp
+        got, want = run_gemm(out)
+        np.testing.assert_allclose(got, want, rtol=1e-4)
+
+    def test_unroll_fails_on_triangular(self):
+        # §IV-B.2: sequences that unroll before peeling/padding degenerate.
+        r1 = ThreadGrouping().apply(trmm_comp(), ("Li", "Lj"), PARAMS)
+        r2 = LoopTiling().apply(r1.comp, (*r1.labels, "Lk"), {})
+        with pytest.raises(TransformFailure):
+            LoopUnroll().apply(r2.comp, (r2.labels[2],), {})
+
+    def test_unroll_fails_on_symbolic_trip(self):
+        comp = gemm_comp()
+        with pytest.raises(TransformFailure):
+            LoopUnroll().apply(comp, ("Lk",), {})
+
+    def test_unknown_label(self):
+        comp, _ = tiled_gemm()
+        with pytest.raises(TransformFailure):
+            LoopUnroll().apply(comp, ("Lzz",), {})

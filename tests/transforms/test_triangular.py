@@ -1,0 +1,225 @@
+"""Tests for peel/padding/binding_triangular (Fig. 6 / Fig. 7 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Guard, MinExpr, validate
+from repro.transforms import (
+    BindingTriangular,
+    LoopTiling,
+    LoopUnroll,
+    PaddingTriangular,
+    PeelTriangular,
+    SMAlloc,
+    ThreadGrouping,
+    TransformFailure,
+    blank_zero_flag,
+)
+from repro.transforms.util import KernelStructure
+
+from .conftest import PARAMS, run_trmm, run_trsm, trmm_comp, trsm_comp
+
+
+def trmm_tiled():
+    r1 = ThreadGrouping().apply(trmm_comp(), ("Li", "Lj"), PARAMS)
+    r2 = LoopTiling().apply(r1.comp, (*r1.labels, "Lk"), {})
+    return r2.comp, r1.labels, r2.labels
+
+
+def trsm_tiled():
+    r1 = ThreadGrouping().apply(trsm_comp(), ("Li", "Lj"), PARAMS)
+    r2 = LoopTiling().apply(r1.comp, (*r1.labels, "Lk"), {})
+    return r2.comp, r2.labels
+
+
+class TestPeel:
+    def test_detection_fails_before_grouping(self):
+        # §IV-A.3: "the detection will fail before loop tiling is applied".
+        with pytest.raises(TransformFailure):
+            PeelTriangular().apply(trmm_comp(), ("A",), {})
+
+    def test_post_tiling_split(self):
+        comp, _, _ = trmm_tiled()
+        out = PeelTriangular().apply(comp, ("A",), {}).comp
+        ks = KernelStructure(out.main_stage)
+        kks = ks.sequential_block_loops()
+        assert len(kks) == 2
+        rect, tri = kks
+        assert rect.upper.is_single_var() and rect.upper.single_var() == "bi"
+        assert tri.lower.is_single_var() and tri.lower.single_var() == "bi"
+
+    def test_rect_part_rectangular(self):
+        comp, _, (liii, ljjj, lkkk) = trmm_tiled()
+        out = PeelTriangular().apply(comp, ("A",), {}).comp
+        # The kept-label inner loop (rect copy) lost its min bound.
+        rect_k = out.find_loop(lkkk)
+        assert not isinstance(rect_k.upper, MinExpr)
+
+    def test_unroll_succeeds_after_peel(self):
+        comp, _, (liii, ljjj, lkkk) = trmm_tiled()
+        out = PeelTriangular().apply(comp, ("A",), {}).comp
+        out = LoopUnroll().apply(out, (ljjj, lkkk), {}).comp
+        assert out.find_loop(lkkk).unroll > 1
+
+    def test_functional(self):
+        comp, _, _ = trmm_tiled()
+        out = PeelTriangular().apply(comp, ("A",), {}).comp
+        validate(out)
+        got, want = run_trmm(out)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+
+    def test_pre_tiling_peel(self):
+        r1 = ThreadGrouping().apply(trmm_comp(), ("Li", "Lj"), PARAMS)
+        out = PeelTriangular().apply(r1.comp, ("A",), {}).comp
+        validate(out)
+        got, want = run_trmm(out)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+
+    def test_gemm_has_no_trapezoid(self):
+        from .conftest import gemm_comp
+
+        r1 = ThreadGrouping().apply(gemm_comp(), ("Li", "Lj"), PARAMS)
+        with pytest.raises(TransformFailure):
+            PeelTriangular().apply(r1.comp, ("A",), {})
+
+
+class TestPadding:
+    def test_variant_marked_conditional(self):
+        # §IV-A.3: the padded code is multi-versioned on blank(X).zero; the
+        # condition is carried as a variant-level flag for the runtime
+        # check_blank_zero dispatch.
+        comp, _, _ = trmm_tiled()
+        out = PaddingTriangular().apply(comp, ("A",), {}).comp
+        assert out.flags.get(blank_zero_flag("A")) is True
+
+    def test_padded_branch_rectangular(self):
+        comp, _, (_, ljjj, lkkk) = trmm_tiled()
+        out = PaddingTriangular().apply(comp, ("A",), {}).comp
+        padded_k = out.find_loop(lkkk)
+        assert not isinstance(padded_k.upper, MinExpr)
+
+    def test_unroll_succeeds_after_padding(self):
+        comp, _, (_, ljjj, lkkk) = trmm_tiled()
+        out = PaddingTriangular().apply(comp, ("A",), {}).comp
+        out = LoopUnroll().apply(out, (ljjj, lkkk), {}).comp
+        assert out.find_loop(lkkk).unroll > 1
+
+    def test_functional_blank_zero(self):
+        comp, _, _ = trmm_tiled()
+        out = PaddingTriangular().apply(comp, ("A",), {}).comp
+        validate(out)
+        got, want = run_trmm(out)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+
+    def test_pre_tiling_padding_functional(self):
+        r1 = ThreadGrouping().apply(trmm_comp(), ("Li", "Lj"), PARAMS)
+        out = PaddingTriangular().apply(r1.comp, ("A",), {}).comp
+        validate(out)
+        got, want = run_trmm(out)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+
+    def test_dirty_blank_breaks_padded_variant(self):
+        # The padded variant really does require zero blanks — with garbage
+        # above the diagonal it computes the wrong answer, which is exactly
+        # why the ADL rule carries cond(blank(X).zero = true).
+        comp, _, _ = trmm_tiled()
+        out = PaddingTriangular().apply(comp, ("A",), {}).comp
+        got, want = run_trmm(out, dirty_blank=True)
+        assert not np.allclose(got, want, atol=1e-3)
+
+    def test_padding_requires_accumulation(self):
+        # A plain assignment in the triangular loop cannot be padded: the
+        # extra iterations would overwrite instead of adding zero.
+        from repro.ir import Array, build_computation, var
+
+        src = """
+        Li: for (i = 0; i < M; i++)
+        Lj:   for (j = 0; j < N; j++)
+        Lk:     for (k = 0; k <= i; k++)
+                  C[i][j] = A[i][k] * B[k][j];
+        """
+        comp = build_computation(
+            "tri-assign",
+            src,
+            [
+                Array("A", (var("M"), var("M")), triangular="lower"),
+                Array("B", (var("M"), var("N"))),
+                Array("C", (var("M"), var("N"))),
+            ],
+            dim_symbols=("M", "N"),
+        )
+        r1 = ThreadGrouping().apply(comp, ("Li", "Lj"), PARAMS)
+        r2 = LoopTiling().apply(r1.comp, (*r1.labels, "Lk"), {})
+        with pytest.raises(TransformFailure):
+            PaddingTriangular().apply(r2.comp, ("A",), {})
+
+    def test_padding_trsm_tri_region_is_zero_contribution(self):
+        # Padding the TRSM subtract loop is legal: blank A elements are
+        # zero, so the padded iterations subtract nothing.  (Correct
+        # ordering still requires binding — tested separately.)
+        comp, _ = trsm_tiled()
+        out = PaddingTriangular().apply(comp, ("A",), {}).comp
+        validate(out)
+
+    def test_detection_fails_before_grouping(self):
+        with pytest.raises(TransformFailure):
+            PaddingTriangular().apply(trmm_comp(), ("A",), {})
+
+
+class TestBinding:
+    def test_requires_solver_distribution(self):
+        comp, _, _ = trmm_tiled()  # TRMM uses the 2D distribution
+        with pytest.raises(TransformFailure):
+            BindingTriangular().apply(comp, ("A", "0"), {})
+
+    def test_peel_bind_functional(self):
+        comp, _ = trsm_tiled()
+        out = PeelTriangular().apply(comp, ("A",), {}).comp
+        result = BindingTriangular().apply(out, ("A", "0"), {})
+        assert any("rect part kept parallel" in n for n in result.notes)
+        validate(result.comp)
+        got, want = run_trsm(result.comp)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-3)
+
+    def test_bind_without_peel_serialises_fully(self):
+        comp, _ = trsm_tiled()
+        result = BindingTriangular().apply(comp, ("A", "0"), {})
+        assert any("fully serialised" in n for n in result.notes)
+        got, want = run_trsm(result.comp)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-3)
+
+    def test_guard_binds_to_requested_thread(self):
+        comp, _ = trsm_tiled()
+        out = PeelTriangular().apply(comp, ("A",), {}).comp
+        out = BindingTriangular().apply(out, ("A", "0"), {}).comp
+        guards = [
+            g
+            for phase in KernelStructure(out.main_stage).phases()
+            for g in _walk_guards(phase)
+        ]
+        assert guards and "tx" in repr(guards[-1].cond)
+
+    def test_full_trsm_pipeline_with_smem(self):
+        comp, (liii, ljjj, lkkk) = trsm_tiled()
+        out = PeelTriangular().apply(comp, ("A",), {}).comp
+        out = BindingTriangular().apply(out, ("A", "0"), {}).comp
+        out = LoopUnroll().apply(out, (ljjj, lkkk), {}).comp
+        out = SMAlloc().apply(out, ("B", "Transpose"), {}).comp
+        validate(out)
+        got, want = run_trsm(out)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-3)
+
+
+def _walk_guards(node):
+    from repro.ir import Guard, Loop
+
+    out = []
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        if isinstance(n, Guard):
+            out.append(n)
+            stack.extend(n.body + n.else_body)
+        elif isinstance(n, Loop):
+            stack.extend(n.body)
+    return out

@@ -1,0 +1,82 @@
+"""Tests for library persistence (save / load tuned scripts)."""
+
+import numpy as np
+import pytest
+
+from repro.blas3 import random_inputs, reference
+from repro.gpu import GTX_285
+from repro.tuner import LibraryGenerator, load_library, save_library
+
+SMALL_SPACE = [{"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2}]
+
+
+@pytest.fixture(scope="module")
+def lib():
+    gen = LibraryGenerator(GTX_285, space=SMALL_SPACE)
+    return gen.library(["GEMM-NN", "TRMM-LL-N", "TRSM-LL-N"])
+
+
+class TestRoundtrip:
+    def test_save_load(self, lib, tmp_path):
+        path = tmp_path / "lib.json"
+        save_library(lib, path)
+        again = load_library(path)
+        assert set(again.names()) == set(lib.names())
+        assert again.arch.name == GTX_285.name
+
+    def test_reloaded_kernels_functional(self, lib, tmp_path):
+        path = tmp_path / "lib.json"
+        save_library(lib, path)
+        again = load_library(path)
+        sizes = {"M": 32, "N": 32, "K": 16}
+        inputs = random_inputs("GEMM-NN", sizes, seed=7)
+        got = again["GEMM-NN"].run(inputs)
+        np.testing.assert_allclose(
+            got, reference("GEMM-NN", inputs), rtol=3e-3, atol=3e-3
+        )
+
+    def test_reloaded_perf_model_agrees(self, lib, tmp_path):
+        path = tmp_path / "lib.json"
+        save_library(lib, path)
+        again = load_library(path)
+        for name in lib.names():
+            assert again.gflops(name, 1024) == pytest.approx(
+                lib.gflops(name, 1024), rel=1e-6
+            )
+
+    def test_fallback_preserved(self, lib, tmp_path):
+        path = tmp_path / "lib.json"
+        save_library(lib, path)
+        again = load_library(path)
+        trmm = again["TRMM-LL-N"]
+        if trmm.conditions:
+            assert trmm.fallback is not None
+
+    def test_verify_mode(self, lib, tmp_path):
+        path = tmp_path / "lib.json"
+        save_library(lib, path)
+        load_library(path, verify=True)  # must not raise
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 99, "arch": "gtx285", "routines": []}')
+        with pytest.raises(ValueError):
+            load_library(path)
+
+    def test_tampered_script_caught_by_verify(self, lib, tmp_path):
+        import json
+
+        path = tmp_path / "lib.json"
+        save_library(lib, path)
+        doc = json.loads(path.read_text())
+        # Sabotage the TRSM script: drop the binding (racy kernel).
+        for record in doc["routines"]:
+            if record["routine"] == "TRSM-LL-N":
+                record["script"] = "\n".join(
+                    line
+                    for line in record["script"].splitlines()
+                    if "binding" not in line and "peel" not in line
+                )
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError):
+            load_library(path, verify=True)

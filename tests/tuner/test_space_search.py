@@ -1,0 +1,76 @@
+"""Tests for the parameter space and variant search."""
+
+import pytest
+
+from repro.blas3 import build_routine
+from repro.gpu import FERMI_C2050, GEFORCE_9800, GTX_285
+from repro.tuner import CURATED_SPACE, DEFAULT_SPACE, VariantSearch, prune_space
+from repro.tuner.space import _structurally_valid
+
+
+class TestSpace:
+    def test_nonempty(self):
+        assert len(DEFAULT_SPACE) > 50
+        assert len(CURATED_SPACE) >= 10
+
+    def test_all_structurally_valid(self):
+        for cfg in DEFAULT_SPACE + CURATED_SPACE:
+            assert _structurally_valid(cfg), cfg
+
+    def test_divisibility_invariants(self):
+        for cfg in DEFAULT_SPACE:
+            assert cfg["BM"] % cfg["TX"] == 0
+            assert cfg["BN"] % cfg["TY"] == 0
+            assert cfg["BM"] % cfg["KT"] == 0
+            assert cfg["BN"] % cfg["KT"] == 0
+
+    def test_rejects_oversize_register_tiles(self):
+        assert not _structurally_valid(
+            {"BM": 128, "BN": 64, "KT": 16, "TX": 8, "TY": 2}
+        )
+
+    def test_pruning_by_arch(self):
+        full = prune_space(GTX_285)
+        g92 = prune_space(GEFORCE_9800)
+        assert len(g92) <= len(full)
+
+    def test_max_configs(self):
+        assert len(prune_space(GTX_285, max_configs=5)) == 5
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def searched(self):
+        from repro.tuner import LibraryGenerator
+
+        gen = LibraryGenerator(GTX_285)
+        source = build_routine("GEMM-NN")
+        return gen.searcher.search("GEMM-NN", source, gen.candidates("GEMM-NN"))
+
+    def test_best_is_max(self, searched):
+        assert searched.best.gflops == max(s.gflops for s in searched.scores if s.ok)
+
+    def test_top_sorted(self, searched):
+        top = searched.top(5)
+        assert all(top[i].gflops >= top[i + 1].gflops for i in range(len(top) - 1))
+
+    def test_scores_have_kernels(self, searched):
+        for score in searched.scores:
+            if score.ok:
+                assert score.comp is not None
+                assert score.applied_key
+
+    def test_best_in_volkov_band(self, searched):
+        frac = searched.best.gflops / GTX_285.peak_gflops
+        assert 0.35 <= frac <= 0.8
+
+    def test_custom_space(self):
+        search = VariantSearch(
+            GTX_285, space=[{"BM": 32, "BN": 16, "KT": 8, "TX": 16, "TY": 2}]
+        )
+        source = build_routine("GEMM-NN")
+        from repro.tuner import LibraryGenerator
+
+        gen = LibraryGenerator(GTX_285)
+        result = search.search("GEMM-NN", source, gen.candidates("GEMM-NN"))
+        assert result.best.config["BM"] == 32
