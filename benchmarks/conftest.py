@@ -11,6 +11,12 @@ import pytest
 from repro.gpu import FERMI_C2050, GEFORCE_9800, GTX_285
 
 
+def pytest_collection_modifyitems(config, items):
+    """Every benchmark regenerates paper-scale libraries — all slow."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def geforce9800():
     return GEFORCE_9800

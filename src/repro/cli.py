@@ -16,14 +16,28 @@ Commands
     Emit the generated CUDA source for a routine.
 ``candidates ROUTINE``
     Show the composer's candidate scripts for a routine.
+``library``
+    Tune every variant (all 24 by default) and save the resulting
+    library as JSON (reloadable with ``repro.tuner.load_library``).
 
 All commands take ``--arch {geforce9800,gtx285,fermi}`` (default gtx285)
-and ``-n`` for the problem size (default 4096).
+and ``-n`` for the problem size (default 4096).  The tuning commands
+(``generate``, ``compare``, ``cuda``, ``library``) additionally take:
+
+``--jobs N``
+    Parallel search workers (default: all CPUs; ``--jobs 1`` forces the
+    sequential path).
+``--cache-dir DIR``
+    Persistent tuning cache directory.  Defaults to ``$REPRO_CACHE_DIR``
+    when set, otherwise caching is off.
+``--no-cache``
+    Disable the tuning cache even if ``$REPRO_CACHE_DIR`` is set.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -51,6 +65,41 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_tuning(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel search workers (default: cpu count; 1 = sequential)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent tuning cache directory "
+        "(default: $REPRO_CACHE_DIR if set, else no cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the tuning cache even if $REPRO_CACHE_DIR is set",
+    )
+
+
+def _make_oa(args) -> OAFramework:
+    cache_dir = None
+    if not getattr(args, "no_cache", False):
+        cache_dir = getattr(args, "cache_dir", None) or os.environ.get(
+            "REPRO_CACHE_DIR"
+        )
+    return OAFramework(
+        PLATFORMS[args.arch],
+        jobs=getattr(args, "jobs", None),
+        cache_dir=cache_dir,
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -71,6 +120,28 @@ def _build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         p.add_argument("routine", help="variant name, e.g. SYMM-LL or TRSM-LL-N")
         _add_common(p)
+        if name != "candidates":
+            _add_tuning(p)
+
+    p = sub.add_parser(
+        "library", help="tune all variants and save the library as JSON"
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="output path (default: oa-<arch>.json)",
+    )
+    p.add_argument(
+        "--routines",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="subset of variants to tune (default: all 24)",
+    )
+    _add_common(p)
+    _add_tuning(p)
     return parser
 
 
@@ -92,7 +163,7 @@ def _cmd_adaptors() -> int:
 
 
 def _cmd_generate(args) -> int:
-    oa = OAFramework(PLATFORMS[args.arch])
+    oa = _make_oa(args)
     tuned = oa.generate(args.routine)
     print(f"// {tuned.name} on {oa.arch.name}")
     print(f"// tuned parameters: {tuned.config}")
@@ -104,18 +175,33 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _vs_oa(oa_g: float, base_g: float) -> str:
+    """Label a baseline's speed relative to OA's.
+
+    ``oa/base > 1`` means the baseline is that many times *slower* than
+    OA; below 1 the baseline is *faster*.  A baseline modeling 0 GFLOPS
+    (unsupported / degenerate case) renders as "-" instead of dividing.
+    """
+    if not base_g or base_g <= 0 or not oa_g or oa_g <= 0:
+        return "-"
+    ratio = oa_g / base_g
+    if ratio >= 1.0:
+        return f"{ratio:.2f}x slower"
+    return f"{base_g / oa_g:.2f}x faster"
+
+
 def _cmd_compare(args) -> int:
     arch = PLATFORMS[args.arch]
-    oa = OAFramework(arch)
+    oa = _make_oa(args)
     oa_g = oa.gflops(args.routine, args.n)
     cu_g = cublas_gflops(args.routine, arch, args.n)
     rows = [
         ("OA (this work)", f"{oa_g:.0f}", "1.00x"),
-        ("CUBLAS 3.2", f"{cu_g:.0f}", f"{oa_g / cu_g:.2f}x slower" if cu_g else "-"),
+        ("CUBLAS 3.2", f"{cu_g:.0f}", _vs_oa(oa_g, cu_g)),
     ]
     if magma_supports(args.routine, arch):
         ma_g = magma_gflops(args.routine, arch, args.n)
-        rows.append(("MAGMA v0.2", f"{ma_g:.0f}", f"{oa_g / ma_g:.2f}x slower"))
+        rows.append(("MAGMA v0.2", f"{ma_g:.0f}", _vs_oa(oa_g, ma_g)))
     print(
         ascii_table(
             ["library", "GFLOPS", "vs OA"],
@@ -127,8 +213,30 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_cuda(args) -> int:
-    oa = OAFramework(PLATFORMS[args.arch])
+    oa = _make_oa(args)
     print(oa.cuda(args.routine))
+    return 0
+
+
+def _cmd_library(args) -> int:
+    from .tuner.persist import save_library
+
+    oa = _make_oa(args)
+    lib = oa.library(args.routines)
+    rows = [
+        (name, str(tuned.config), f"{tuned.tuned_gflops:.0f}")
+        for name, tuned in lib.routines.items()
+    ]
+    print(
+        ascii_table(
+            ["variant", "tuned parameters", "GFLOPS"],
+            rows,
+            title=f"tuned library for {oa.arch.name}",
+        )
+    )
+    output = args.output or f"oa-{args.arch}.json"
+    save_library(lib, output)
+    print(f"saved {len(lib.routines)} routines to {output}")
     return 0
 
 
@@ -154,6 +262,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cuda(args)
     if args.command == "candidates":
         return _cmd_candidates(args)
+    if args.command == "library":
+        return _cmd_library(args)
     return 1  # pragma: no cover
 
 

@@ -24,7 +24,8 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from .adl.adaptor import Adaptor
 from .adl.builtin import BUILTIN_ADAPTORS
@@ -50,10 +51,17 @@ class OAFramework:
         tune_size: int = 4096,
         space: Optional[Sequence[Config]] = None,
         full_space: bool = False,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
     ):
         self.arch = arch
         self.generator = LibraryGenerator(
-            arch, tune_size=tune_size, space=space, full_space=full_space
+            arch,
+            tune_size=tune_size,
+            space=space,
+            full_space=full_space,
+            jobs=jobs,
+            cache_dir=cache_dir,
         )
         self.gpu = SimulatedGPU(arch)
 

@@ -1,8 +1,16 @@
-"""Auto-tuning: parameter space, variant search, library generation."""
+"""Auto-tuning: parameter space, variant search, library generation,
+persistent result caching."""
 
+from .cache import TuningCache, arch_fingerprint, space_fingerprint
 from .library import GeneratedLibrary, LibraryGenerator, TunedRoutine
-from .persist import load_library, save_library
-from .search import CURATED_SPACE, CandidateScore, SearchResult, VariantSearch
+from .persist import FORMAT_VERSION, load_library, save_library
+from .search import (
+    CURATED_SPACE,
+    CandidateScore,
+    SearchResult,
+    VariantSearch,
+    resolve_jobs,
+)
 from .space import Config, DEFAULT_SPACE, default_space, prune_space
 
 __all__ = [
@@ -10,13 +18,18 @@ __all__ = [
     "CandidateScore",
     "Config",
     "DEFAULT_SPACE",
+    "FORMAT_VERSION",
     "GeneratedLibrary",
     "LibraryGenerator",
     "SearchResult",
     "TunedRoutine",
+    "TuningCache",
     "VariantSearch",
+    "arch_fingerprint",
     "load_library",
     "save_library",
     "default_space",
     "prune_space",
+    "resolve_jobs",
+    "space_fingerprint",
 ]

@@ -1,0 +1,196 @@
+"""Persistent, content-addressed cache of tuning results.
+
+The paper's central claim is that optimization experience is *reusable*:
+once the search has found the best (script, config) pair for a routine on
+a platform, re-deriving it is pure waste.  This module keeps two kinds of
+artifacts on disk, keyed by everything that could change the answer:
+
+* **routine winners** — the full :class:`~repro.tuner.library.TunedRoutine`
+  record (winning script text, config, modeled GFLOPS, fallback), exactly
+  the per-routine document :mod:`repro.tuner.persist` writes into a saved
+  library; and
+* **verification verdicts** — the boolean outcome of the functional
+  oracle per (routine, effective component sequence), so even a cold
+  search on a new parameter space skips re-verifying sequences it has
+  seen before.
+
+Cache keys are SHA-256 digests over a canonical JSON encoding of
+``(FORMAT_VERSION, arch fingerprint, routine, base-script hash, space
+fingerprint, tuning knobs)``.  Changing any ingredient — a new
+translator release bumping :data:`~repro.tuner.persist.FORMAT_VERSION`,
+a different search space, another chip — lands on a different file, so
+stale entries are never *wrong*, merely unused.
+
+Loads are corruption-tolerant by construction: a truncated, tampered or
+otherwise unreadable cache file behaves exactly like a miss — the
+pipeline recomputes and overwrites it.  Writes go through a temp file +
+:func:`os.replace` so readers never observe a half-written document.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from ..gpu.arch import GPUArch
+from .library import TunedRoutine
+from .space import Config
+
+__all__ = [
+    "TuningCache",
+    "space_fingerprint",
+    "arch_fingerprint",
+    "applied_key_token",
+]
+
+
+def _digest(payload: Dict) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:24]
+
+
+def space_fingerprint(space: Sequence[Config]) -> str:
+    """Digest of the parameter space *in order* — order breaks ties during
+    the search, so two permutations of the same configs are distinct."""
+    return _digest([dict(sorted(cfg.items())) for cfg in space])
+
+
+def arch_fingerprint(arch: GPUArch) -> str:
+    record = dataclasses.asdict(arch)
+    record["compute_capability"] = list(arch.compute_capability)
+    return _digest(record)
+
+
+def applied_key_token(name: str, applied_key: Tuple) -> str:
+    """Stable string key for one verification verdict."""
+    as_lists = [list(k) if isinstance(k, (list, tuple)) else k for k in applied_key]
+    return f"{name}::{json.dumps(as_lists, separators=(',', ':'))}"
+
+
+class TuningCache:
+    """On-disk store of search winners and verification verdicts.
+
+    One instance fronts one directory; files are small JSON documents
+    named ``<kind>-<routine>-<digest>.json``.  All ``load_*`` methods
+    return ``None``/``{}`` on any problem (missing file, bad JSON, wrong
+    schema) — callers treat that as a cold cache and rebuild.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]):
+        self.dir = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying --------------------------------------------------------
+    def routine_key(
+        self,
+        arch: GPUArch,
+        routine: str,
+        base_script_hash: str,
+        space_fp: str,
+        **knobs,
+    ) -> str:
+        from .persist import FORMAT_VERSION
+
+        return _digest(
+            {
+                "format": FORMAT_VERSION,
+                "arch": arch_fingerprint(arch),
+                "routine": routine,
+                "base": base_script_hash,
+                "space": space_fp,
+                "knobs": dict(sorted(knobs.items())),
+            }
+        )
+
+    def verdict_key(self, arch: GPUArch, base_script_hash: str, **knobs) -> str:
+        from .persist import FORMAT_VERSION
+
+        return _digest(
+            {
+                "format": FORMAT_VERSION,
+                "arch": arch_fingerprint(arch),
+                "base": base_script_hash,
+                "knobs": dict(sorted(knobs.items())),
+            }
+        )
+
+    # -- io ------------------------------------------------------------
+    def _path(self, kind: str, tag: str, key: str) -> Path:
+        safe_tag = "".join(c if c.isalnum() or c in "-_" else "_" for c in tag)
+        return self.dir / f"{kind}-{safe_tag}-{key}.json"
+
+    def _read(self, path: Path) -> Optional[Dict]:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def _write(self, path: Path, doc: Dict) -> None:
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(doc, fh, indent=1)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            # A read-only or full cache directory degrades to no caching.
+            pass
+
+    # -- routine winners ----------------------------------------------
+    def load_routine(self, key: str, routine: str, arch: GPUArch) -> Optional[TunedRoutine]:
+        """Rebuild a cached winner, or ``None`` on miss/corruption."""
+        from .persist import FORMAT_VERSION, rebuild_routine
+
+        doc = self._read(self._path("routine", routine, key))
+        if not doc or doc.get("format") != FORMAT_VERSION or doc.get("key") != key:
+            self.misses += 1
+            return None
+        try:
+            tuned = rebuild_routine(doc["record"], arch)
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return tuned
+
+    def store_routine(self, key: str, tuned: TunedRoutine) -> None:
+        from .persist import FORMAT_VERSION, routine_record
+
+        doc = {
+            "format": FORMAT_VERSION,
+            "key": key,
+            "arch": tuned.arch.name,
+            "record": routine_record(tuned),
+        }
+        self._write(self._path("routine", tuned.name, key), doc)
+
+    # -- verification verdicts ----------------------------------------
+    def load_verdicts(self, key: str) -> Dict[str, bool]:
+        from .persist import FORMAT_VERSION
+
+        doc = self._read(self._path("verdicts", "all", key))
+        if not doc or doc.get("format") != FORMAT_VERSION or doc.get("key") != key:
+            return {}
+        verdicts = doc.get("verdicts")
+        if not isinstance(verdicts, dict):
+            return {}
+        return {str(k): bool(v) for k, v in verdicts.items()}
+
+    def store_verdicts(self, key: str, verdicts: Dict[str, bool]) -> None:
+        from .persist import FORMAT_VERSION
+
+        merged = dict(self.load_verdicts(key))
+        merged.update(verdicts)
+        doc = {"format": FORMAT_VERSION, "key": key, "verdicts": merged}
+        self._write(self._path("verdicts", "all", key), doc)

@@ -11,9 +11,11 @@ and can emit their CUDA source.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -137,8 +139,14 @@ class TunedRoutine:
         return {"M": self.config["BM"], "N": self.config["BN"], "K": self.config["KT"]}[sym]
 
     def _tile_divisible(self, sizes: Mapping[str, int]) -> bool:
+        missing = [sym for sym in self.spec.dim_symbols if sym not in sizes]
+        if missing:
+            raise ValueError(
+                f"{self.name}: sizes missing dimension symbol(s) "
+                f"{', '.join(missing)} (required: {', '.join(self.spec.dim_symbols)})"
+            )
         return all(
-            sizes.get(sym, 0) % self._tile_for(sym) == 0
+            sizes[sym] % self._tile_for(sym) == 0
             for sym in self.spec.dim_symbols
         )
 
@@ -208,15 +216,48 @@ class LibraryGenerator:
         full_space: bool = False,
         verify_size: int = 2,
         check_candidates: bool = False,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
     ):
         self.arch = arch
         self.tune_size = tune_size
-        self.searcher = VariantSearch(arch, tune_size, space=space, full_space=full_space)
+        self.searcher = VariantSearch(
+            arch, tune_size, space=space, full_space=full_space, jobs=jobs
+        )
         self.base_script = parse_script(BASE_GEMM_SCRIPT, name="gemm-nn")
         self.verify_size = verify_size
         self.check_candidates = check_candidates
         self._cache: Dict[str, TunedRoutine] = {}
         self._verify_cache: Dict = {}
+        self.disk_cache = None
+        self._verdict_key = None
+        if cache_dir is not None:
+            from .cache import TuningCache, space_fingerprint
+
+            self.disk_cache = TuningCache(cache_dir)
+            self._base_hash = hashlib.sha256(
+                self.base_script.render().encode("utf-8")
+            ).hexdigest()[:24]
+            self._space_fp = space_fingerprint(self.searcher.space)
+            self._verdict_key = self.disk_cache.verdict_key(
+                arch,
+                self._base_hash,
+                verify_size=verify_size,
+                verify_config=dict(sorted(self.VERIFY_CONFIG.items())),
+            )
+            self._verdicts_loaded = False
+
+    def _routine_cache_key(self, name: str) -> str:
+        """Content address of one routine's winner for this generator's
+        exact tuning setup — see DESIGN.md for the key layout."""
+        return self.disk_cache.routine_key(
+            self.arch,
+            name,
+            self._base_hash,
+            self._space_fp,
+            tune_size=self.tune_size,
+            check_candidates=self.check_candidates,
+        )
 
     # ------------------------------------------------------------------
     def base_script_for(self, spec: RoutineSpec):
@@ -251,10 +292,21 @@ class LibraryGenerator:
 
     # ------------------------------------------------------------------
     def generate(self, name: str, keep_all_scores: bool = False) -> TunedRoutine:
-        """Compose, search, verify and package one routine."""
+        """Compose, search, verify and package one routine.
+
+        With a ``cache_dir`` a previously tuned winner is rebuilt straight
+        from disk — no composition, search or verification runs at all.
+        """
         key = get_spec(name).name
         if key in self._cache:
             return self._cache[key]
+        disk_key = None
+        if self.disk_cache is not None:
+            disk_key = self._routine_cache_key(key)
+            cached = self.disk_cache.load_routine(disk_key, key, self.arch)
+            if cached is not None:
+                self._cache[key] = cached
+                return cached
         spec = get_spec(name)
         source = build_routine(name)
         candidates = self.candidates(name)
@@ -266,6 +318,8 @@ class LibraryGenerator:
         if tuned.conditions:
             tuned.fallback = self._unconditioned_fallback(spec, source, result)
         self._cache[key] = tuned
+        if self.disk_cache is not None:
+            self.disk_cache.store_routine(disk_key, tuned)
         return tuned
 
     def library(self, names: Optional[Sequence[str]] = None) -> "GeneratedLibrary":
@@ -285,20 +339,36 @@ class LibraryGenerator:
         cache_key = (source.name, score.applied_key)
         if cache_key in self._verify_cache:
             return self._verify_cache[cache_key]
+        token = None
+        if self.disk_cache is not None:
+            from .cache import applied_key_token
+
+            if not self._verdicts_loaded:
+                self._disk_verdicts = self.disk_cache.load_verdicts(self._verdict_key)
+                self._verdicts_loaded = True
+            token = applied_key_token(source.name, score.applied_key)
+            if token in self._disk_verdicts:
+                ok = self._disk_verdicts[token]
+                self._verify_cache[cache_key] = ok
+                return ok
         cfg = dict(self.VERIFY_CONFIG)
         translator = EpodTranslator(cfg)
         try:
             small = translator.translate(source, score.script.script, mode="filter")
         except Exception:
-            self._verify_cache[cache_key] = False
-            return False
-        if small.applied_key == score.applied_key:
+            small = None
+        if small is None:
+            ok = False
+        elif small.applied_key == score.applied_key:
             ok = check_equivalence(small.comp, source, cfg).ok
         else:
             # The sequence degenerates differently at this tile size:
             # verify the actual kernel (slower path).
             ok = check_equivalence(score.comp, source, score.config).ok
         self._verify_cache[cache_key] = ok
+        if token is not None:
+            self._disk_verdicts[token] = ok
+            self.disk_cache.store_verdicts(self._verdict_key, {token: ok})
         return ok
 
     def _verified_best(

@@ -11,6 +11,7 @@ re-verified cheaply).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -23,12 +24,50 @@ from ..epod.translator import EpodTranslator
 from ..gpu.arch import GPUArch, PLATFORMS
 from .library import GeneratedLibrary, TunedRoutine
 
-__all__ = ["save_library", "load_library", "FORMAT_VERSION"]
+__all__ = [
+    "save_library",
+    "load_library",
+    "routine_record",
+    "rebuild_routine",
+    "arch_record",
+    "rebuild_arch",
+    "FORMAT_VERSION",
+]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
-def _routine_record(tuned: TunedRoutine) -> Dict:
+def arch_record(arch: GPUArch) -> Union[str, Dict]:
+    """Serialize an architecture: a platform key when it is one of the
+    paper's three platforms, otherwise the full field set so custom
+    :class:`GPUArch` instances round-trip."""
+    for key, platform in PLATFORMS.items():
+        if platform == arch:
+            return key
+    if not isinstance(arch, GPUArch):
+        raise ValueError(
+            f"cannot serialize architecture {getattr(arch, 'name', arch)!r}: "
+            "not a GPUArch"
+        )
+    record = dataclasses.asdict(arch)
+    record["compute_capability"] = list(arch.compute_capability)
+    return record
+
+
+def rebuild_arch(record: Union[str, Dict]) -> GPUArch:
+    if isinstance(record, str):
+        if record not in PLATFORMS:
+            raise ValueError(
+                f"unknown architecture {record!r}; known platforms: "
+                f"{', '.join(sorted(PLATFORMS))}"
+            )
+        return PLATFORMS[record]
+    fields = dict(record)
+    fields["compute_capability"] = tuple(fields["compute_capability"])
+    return GPUArch(**fields)
+
+
+def routine_record(tuned: TunedRoutine) -> Dict:
     record = {
         "routine": tuned.name,
         "script": tuned.script.script.render(),
@@ -39,7 +78,7 @@ def _routine_record(tuned: TunedRoutine) -> Dict:
         "applied": [list(k) if isinstance(k, (list, tuple)) else k for k in tuned.applied_key],
     }
     if tuned.fallback is not None:
-        record["fallback"] = _routine_record(tuned.fallback)
+        record["fallback"] = routine_record(tuned.fallback)
     return record
 
 
@@ -47,13 +86,13 @@ def save_library(lib: GeneratedLibrary, path: Union[str, Path]) -> None:
     """Write the tuned library to a JSON file."""
     doc = {
         "format": FORMAT_VERSION,
-        "arch": next(k for k, v in PLATFORMS.items() if v.name == lib.arch.name),
-        "routines": [_routine_record(r) for r in lib.routines.values()],
+        "arch": arch_record(lib.arch),
+        "routines": [routine_record(r) for r in lib.routines.values()],
     }
     Path(path).write_text(json.dumps(doc, indent=2))
 
 
-def _rebuild(record: Dict, arch: GPUArch) -> TunedRoutine:
+def rebuild_routine(record: Dict, arch: GPUArch) -> TunedRoutine:
     spec = get_spec(record["routine"])
     source = build_routine(record["routine"])
     script = parse_script(record["script"], name=record["routine"])
@@ -73,7 +112,7 @@ def _rebuild(record: Dict, arch: GPUArch) -> TunedRoutine:
         applied_key=result.applied_key,
     )
     if "fallback" in record:
-        tuned.fallback = _rebuild(record["fallback"], arch)
+        tuned.fallback = rebuild_routine(record["fallback"], arch)
     return tuned
 
 
@@ -86,12 +125,12 @@ def load_library(
     functional oracle (slower; useful after editing the file by hand).
     """
     doc = json.loads(Path(path).read_text())
-    if doc.get("format") != FORMAT_VERSION:
+    if doc.get("format") not in (1, FORMAT_VERSION):
         raise ValueError(f"unsupported library format {doc.get('format')!r}")
-    arch = PLATFORMS[doc["arch"]]
+    arch = rebuild_arch(doc["arch"])
     routines = {}
     for record in doc["routines"]:
-        tuned = _rebuild(record, arch)
+        tuned = rebuild_routine(record, arch)
         if verify:
             from ..composer.oracle import check_equivalence
 

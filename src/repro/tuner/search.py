@@ -10,10 +10,21 @@ For one routine on one architecture the search crosses:
 scoring each with the analytic performance model at the tuning size
 (the paper's 4096).  A curated sub-space keeps the default search fast;
 ``full_space=True`` sweeps everything.
+
+The (script × config) cross product is embarrassingly parallel: every
+evaluation unit is independent, so the search fans out over a process
+pool (``jobs=`` workers, default ``os.cpu_count()``).  Workers rebuild
+their :class:`~repro.epod.translator.EpodTranslator` and
+:class:`~repro.gpu.simulator.SimulatedGPU` locally; the parent reduces
+the returned scores in the exact (candidate, config) submission order,
+so the winner is bit-identical to the sequential run.  ``jobs=1``
+preserves the single-threaded code path unchanged.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,7 +36,13 @@ from ..gpu.simulator import RunResult, SimulatedGPU
 from ..ir.ast import Computation
 from .space import Config, DEFAULT_SPACE, prune_space
 
-__all__ = ["SearchResult", "CandidateScore", "VariantSearch", "CURATED_SPACE"]
+__all__ = [
+    "SearchResult",
+    "CandidateScore",
+    "VariantSearch",
+    "CURATED_SPACE",
+    "resolve_jobs",
+]
 
 #: A representative spread of tile shapes (Volkov-style row kernels,
 #: square tiles, wide thread blocks) used by the default search.
@@ -78,6 +95,83 @@ class SearchResult:
         )[:n]
 
 
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs=`` knob: ``None``/0 → ``os.cpu_count()``."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _evaluate_unit(
+    gpu: SimulatedGPU,
+    source: Computation,
+    candidate: ComposedScript,
+    config: Config,
+    sizes: Dict[str, int],
+    nominal: float,
+) -> CandidateScore:
+    """Score one (script, config) pair — the search's unit of work.
+
+    Module-level so both the sequential path and the pool workers run
+    the identical code.
+    """
+    translator = EpodTranslator(dict(config))
+    try:
+        result = translator.translate(source, candidate.script, mode="filter")
+    except Exception as exc:
+        return CandidateScore(candidate, config, 0.0, error=f"translate: {exc}")
+    try:
+        run = gpu.profile(result.comp, sizes, nominal_flops=nominal)
+    except Exception as exc:
+        return CandidateScore(candidate, config, 0.0, error=f"profile: {exc}")
+    if not run.feasible:
+        return CandidateScore(candidate, config, 0.0, error="infeasible occupancy")
+    return CandidateScore(
+        candidate,
+        config,
+        run.gflops,
+        run=run,
+        comp=result.comp,
+        applied_key=result.applied_key,
+    )
+
+
+#: Per-worker state, populated once by the pool initializer so each task
+#: ships only its (candidate, config) index pair.
+_WORKER: Dict[str, object] = {}
+
+
+def _worker_init(
+    arch: GPUArch,
+    source: Computation,
+    candidates: Sequence[ComposedScript],
+    space: Sequence[Config],
+    sizes: Dict[str, int],
+    nominal: float,
+) -> None:
+    _WORKER["gpu"] = SimulatedGPU(arch)
+    _WORKER["source"] = source
+    _WORKER["candidates"] = list(candidates)
+    _WORKER["space"] = list(space)
+    _WORKER["sizes"] = dict(sizes)
+    _WORKER["nominal"] = nominal
+
+
+def _worker_eval(unit: Tuple[int, int]):
+    ci, ki = unit
+    score = _evaluate_unit(
+        _WORKER["gpu"],
+        _WORKER["source"],
+        _WORKER["candidates"][ci],
+        _WORKER["space"][ki],
+        _WORKER["sizes"],
+        _WORKER["nominal"],
+    )
+    # The parent reattaches its own candidate/config objects by index, so
+    # only the evaluation outcome crosses the process boundary.
+    return ci, ki, score.gflops, score.error, score.applied_key, score.run, score.comp
+
+
 class VariantSearch:
     """Exhaustive (script × config) search scored by the analytic model."""
 
@@ -87,6 +181,7 @@ class VariantSearch:
         tune_size: int = 4096,
         space: Optional[Sequence[Config]] = None,
         full_space: bool = False,
+        jobs: Optional[int] = None,
     ):
         self.arch = arch
         self.tune_size = tune_size
@@ -97,6 +192,7 @@ class VariantSearch:
         else:
             self.space = prune_space(arch, CURATED_SPACE)
         self.gpu = SimulatedGPU(arch)
+        self.jobs = resolve_jobs(jobs)
 
     def search(
         self,
@@ -106,27 +202,89 @@ class VariantSearch:
         sizes: Optional[Dict[str, int]] = None,
         nominal_flops: float = 0.0,
         keep_all: bool = False,
+        jobs: Optional[int] = None,
     ) -> SearchResult:
         from ..blas3.routines import get_spec
 
         spec = get_spec(routine_name)
         sizes = dict(sizes or spec.make_sizes(self.tune_size))
         nominal = nominal_flops or spec.nominal_flops(sizes)
+        jobs = resolve_jobs(jobs) if jobs is not None else self.jobs
+
+        candidates = list(candidates)
+        n_units = len(candidates) * len(self.space)
+        if jobs > 1 and n_units > 1:
+            scored = self._search_parallel(
+                source, candidates, sizes, nominal, min(jobs, n_units)
+            )
+        else:
+            scored = (
+                _evaluate_unit(self.gpu, source, candidate, config, sizes, nominal)
+                for candidate in candidates
+                for config in self.space
+            )
 
         scores: List[CandidateScore] = []
         best: Optional[CandidateScore] = None
-        for candidate in candidates:
-            for config in self.space:
-                score = self._evaluate(source, candidate, config, sizes, nominal)
-                if keep_all or score.ok:
-                    scores.append(score)
-                if score.ok and (best is None or score.gflops > best.gflops):
-                    best = score
+        for score in scored:
+            if keep_all or score.ok:
+                scores.append(score)
+            if score.ok and (best is None or score.gflops > best.gflops):
+                best = score
         if best is None:
             raise RuntimeError(
                 f"no feasible (script, config) for {routine_name} on {self.arch.name}"
             )
         return SearchResult(routine_name, self.arch, best, scores)
+
+    def _search_parallel(
+        self,
+        source: Computation,
+        candidates: List[ComposedScript],
+        sizes: Dict[str, int],
+        nominal: float,
+        workers: int,
+    ) -> List[CandidateScore]:
+        """Evaluate every (candidate, config) unit on a process pool.
+
+        Results come back in submission order — the same nested
+        (candidate outer, config inner) order the sequential loop walks —
+        so the reduction in :meth:`search` picks an identical winner.
+        Any pool-level failure (a platform without working
+        multiprocessing, unpicklable state) falls back to the sequential
+        path rather than aborting the search.
+        """
+        units = [
+            (ci, ki)
+            for ci in range(len(candidates))
+            for ki in range(len(self.space))
+        ]
+        chunksize = max(1, len(units) // (workers * 4))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(self.arch, source, candidates, self.space, sizes, nominal),
+            ) as pool:
+                raw = list(pool.map(_worker_eval, units, chunksize=chunksize))
+        except Exception:
+            return [
+                _evaluate_unit(self.gpu, source, candidate, config, sizes, nominal)
+                for candidate in candidates
+                for config in self.space
+            ]
+        return [
+            CandidateScore(
+                candidates[ci],
+                self.space[ki],
+                gflops,
+                run=run,
+                comp=comp,
+                applied_key=applied_key,
+                error=error,
+            )
+            for ci, ki, gflops, error, applied_key, run, comp in raw
+        ]
 
     def _evaluate(
         self,
@@ -136,22 +294,4 @@ class VariantSearch:
         sizes: Dict[str, int],
         nominal: float,
     ) -> CandidateScore:
-        translator = EpodTranslator(dict(config))
-        try:
-            result = translator.translate(source, candidate.script, mode="filter")
-        except Exception as exc:
-            return CandidateScore(candidate, config, 0.0, error=f"translate: {exc}")
-        try:
-            run = self.gpu.profile(result.comp, sizes, nominal_flops=nominal)
-        except Exception as exc:
-            return CandidateScore(candidate, config, 0.0, error=f"profile: {exc}")
-        if not run.feasible:
-            return CandidateScore(candidate, config, 0.0, error="infeasible occupancy")
-        return CandidateScore(
-            candidate,
-            config,
-            run.gflops,
-            run=run,
-            comp=result.comp,
-            applied_key=result.applied_key,
-        )
+        return _evaluate_unit(self.gpu, source, candidate, config, sizes, nominal)

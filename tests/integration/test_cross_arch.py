@@ -9,6 +9,8 @@ from repro.blas3 import get_spec, random_inputs, reference
 from repro.gpu import FERMI_C2050, GEFORCE_9800, GTX_285, occupancy
 from repro.tuner import LibraryGenerator
 
+pytestmark = pytest.mark.slow
+
 SMALL_SPACE = [
     {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
     {"BM": 32, "BN": 16, "KT": 8, "TX": 16, "TY": 2},

@@ -12,6 +12,8 @@ from repro.blas3 import ALL_VARIANTS, get_spec, random_inputs, reference
 from repro.gpu import GTX_285
 from repro.tuner import LibraryGenerator
 
+pytestmark = pytest.mark.slow
+
 SMALL_SPACE = [
     {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
 ]

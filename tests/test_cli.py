@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _vs_oa, main
 
 
 class TestCli:
@@ -43,3 +43,79 @@ class TestCli:
     def test_bad_arch(self):
         with pytest.raises(SystemExit):
             main(["generate", "GEMM-NN", "--arch", "voodoo3"])
+
+    def test_generate_with_tuning_flags(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "generate",
+                    "GEMM-NN",
+                    "--jobs",
+                    "1",
+                    "--cache-dir",
+                    str(tmp_path),
+                    "-n",
+                    "1024",
+                ]
+            )
+            == 0
+        )
+        assert "GFLOPS" in capsys.readouterr().out
+        assert list(tmp_path.glob("routine-*.json"))  # cache populated
+
+    def test_no_cache_flag_suppresses_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["generate", "GEMM-NN", "--no-cache", "-n", "512"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_library_subcommand(self, capsys, tmp_path):
+        out = tmp_path / "lib.json"
+        assert (
+            main(
+                [
+                    "library",
+                    "--routines",
+                    "GEMM-NN",
+                    "-o",
+                    str(out),
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "saved 1 routines" in text
+        from repro.tuner import load_library
+
+        assert load_library(out).names() == ["GEMM-NN"]
+
+
+class TestCompareRatios:
+    """Regression: compare divided by a 0-GFLOPS baseline and labeled
+    faster baselines as "slower"."""
+
+    def test_zero_baseline_renders_dash(self):
+        assert _vs_oa(100.0, 0.0) == "-"
+        assert _vs_oa(0.0, 100.0) == "-"
+
+    def test_slower_baseline(self):
+        assert _vs_oa(200.0, 100.0) == "2.00x slower"
+
+    def test_faster_baseline(self):
+        assert _vs_oa(100.0, 200.0) == "2.00x faster"
+
+    def test_compare_survives_zero_magma(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "magma_gflops", lambda *a, **k: 0.0)
+        assert main(["compare", "GEMM-NN", "--arch", "gtx285", "-n", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "MAGMA v0.2" in out and "inf" not in out
+
+    def test_compare_labels_faster_baseline(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "cublas_gflops", lambda *a, **k: 1e6)
+        assert main(["compare", "GEMM-NN", "--arch", "gtx285", "-n", "512"]) == 0
+        assert "x faster" in capsys.readouterr().out

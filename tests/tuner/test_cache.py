@@ -1,0 +1,161 @@
+"""Tests for the persistent on-disk tuning cache (tuner/cache.py)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.blas3 import random_inputs, reference
+from repro.gpu import FERMI_C2050, GTX_285
+from repro.tuner import LibraryGenerator, TuningCache, space_fingerprint
+
+SMALL_SPACE = [
+    {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
+    {"BM": 32, "BN": 16, "KT": 8, "TX": 16, "TY": 2},
+]
+
+
+class CountingSearch:
+    """Stub standing in for VariantSearch.search: counts invocations and
+    delegates to the real implementation."""
+
+    def __init__(self, searcher):
+        self.searcher = searcher
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        return self.searcher(*args, **kwargs)
+
+
+def make_gen(cache_dir, **kwargs):
+    return LibraryGenerator(GTX_285, space=SMALL_SPACE, cache_dir=cache_dir, **kwargs)
+
+
+class TestWarmCache:
+    def test_warm_hit_skips_search_entirely(self, tmp_path):
+        cold = make_gen(tmp_path)
+        tuned_cold = cold.generate("GEMM-NN")
+
+        warm = make_gen(tmp_path)
+        counter = CountingSearch(warm.searcher.search)
+        warm.searcher.search = counter
+        tuned_warm = warm.generate("GEMM-NN")
+
+        assert counter.calls == 0  # zero search evaluations on a warm cache
+        assert warm.disk_cache.hits == 1
+        assert tuned_warm.config == tuned_cold.config
+        assert tuned_warm.tuned_gflops == tuned_cold.tuned_gflops
+        assert (
+            tuned_warm.script.script.render() == tuned_cold.script.script.render()
+        )
+
+    def test_warm_library_does_no_search(self, tmp_path):
+        names = ["GEMM-NN", "TRMM-LL-N"]
+        make_gen(tmp_path).library(names)
+
+        warm = make_gen(tmp_path)
+        warm.searcher.search = CountingSearch(warm.searcher.search)
+        lib = warm.library(names)
+        assert warm.searcher.search.calls == 0
+        assert set(lib.names()) == set(names)
+
+    def test_warm_routine_functional(self, tmp_path):
+        make_gen(tmp_path).generate("TRMM-LL-N")
+        warm = make_gen(tmp_path).generate("TRMM-LL-N")
+        sizes = {"M": 32, "N": 32}
+        inputs = random_inputs("TRMM-LL-N", sizes, seed=9)
+        np.testing.assert_allclose(
+            warm.run(inputs), reference("TRMM-LL-N", inputs), rtol=3e-3, atol=3e-3
+        )
+
+    def test_fallback_survives_the_cache(self, tmp_path):
+        cold = make_gen(tmp_path).generate("TRMM-LL-N")
+        warm = make_gen(tmp_path).generate("TRMM-LL-N")
+        assert (warm.fallback is None) == (cold.fallback is None)
+        if cold.conditions:
+            assert [c.text for c in warm.conditions] == [
+                c.text for c in cold.conditions
+            ]
+
+
+class TestInvalidation:
+    def test_corrupted_cache_file_is_rebuilt(self, tmp_path):
+        make_gen(tmp_path).generate("GEMM-NN")
+        for path in tmp_path.glob("routine-*.json"):
+            path.write_text("{definitely not json")
+
+        gen = make_gen(tmp_path)
+        counter = CountingSearch(gen.searcher.search)
+        gen.searcher.search = counter
+        tuned = gen.generate("GEMM-NN")  # must not raise
+        assert counter.calls == 1  # cache ignored, search re-ran
+        assert tuned.tuned_gflops > 0
+        # and the cache file was rewritten with a valid document
+        docs = [json.loads(p.read_text()) for p in tmp_path.glob("routine-*.json")]
+        assert docs and all("record" in d for d in docs)
+
+    def test_truncated_verdicts_ignored(self, tmp_path):
+        make_gen(tmp_path).generate("GEMM-NN")
+        for path in tmp_path.glob("verdicts-*.json"):
+            path.write_text(path.read_text()[:10])
+        tuned = make_gen(tmp_path).generate("TRSM-LL-N")  # must not raise
+        assert tuned.tuned_gflops > 0
+
+    def test_different_space_misses(self, tmp_path):
+        make_gen(tmp_path).generate("GEMM-NN")
+        other = LibraryGenerator(
+            GTX_285, space=SMALL_SPACE[:1], cache_dir=tmp_path
+        )
+        counter = CountingSearch(other.searcher.search)
+        other.searcher.search = counter
+        other.generate("GEMM-NN")
+        assert counter.calls == 1  # space fingerprint differs → cold
+
+    def test_different_arch_misses(self, tmp_path):
+        make_gen(tmp_path).generate("GEMM-NN")
+        other = LibraryGenerator(
+            FERMI_C2050, space=SMALL_SPACE, cache_dir=tmp_path
+        )
+        counter = CountingSearch(other.searcher.search)
+        other.searcher.search = counter
+        other.generate("GEMM-NN")
+        assert counter.calls == 1
+
+    def test_different_tune_size_misses(self, tmp_path):
+        make_gen(tmp_path).generate("GEMM-NN")
+        other = make_gen(tmp_path, tune_size=2048)
+        counter = CountingSearch(other.searcher.search)
+        other.searcher.search = counter
+        other.generate("GEMM-NN")
+        assert counter.calls == 1
+
+
+class TestCachePrimitives:
+    def test_space_fingerprint_is_order_sensitive(self):
+        a = space_fingerprint(SMALL_SPACE)
+        b = space_fingerprint(list(reversed(SMALL_SPACE)))
+        assert a != b  # order breaks search ties, so it must key the cache
+
+    def test_load_missing_is_miss_not_crash(self, tmp_path):
+        cache = TuningCache(tmp_path / "nonexistent")
+        assert cache.load_routine("deadbeef", "GEMM-NN", GTX_285) is None
+        assert cache.load_verdicts("deadbeef") == {}
+        assert cache.misses == 1
+
+    def test_readonly_dir_degrades_gracefully(self, tmp_path):
+        ro = tmp_path / "ro"
+        ro.mkdir()
+        ro.chmod(0o500)
+        try:
+            gen = LibraryGenerator(GTX_285, space=SMALL_SPACE, cache_dir=ro)
+            tuned = gen.generate("GEMM-NN")  # store fails silently
+            assert tuned.tuned_gflops > 0
+        finally:
+            ro.chmod(0o700)
+
+    def test_no_cache_dir_means_no_disk_io(self, tmp_path):
+        gen = LibraryGenerator(GTX_285, space=SMALL_SPACE)
+        assert gen.disk_cache is None
+        gen.generate("GEMM-NN")
+        assert list(tmp_path.iterdir()) == []

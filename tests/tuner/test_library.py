@@ -148,3 +148,19 @@ class TestFullTileRegime:
         bm, bn, kt = tuned.config["BM"], tuned.config["BN"], tuned.config["KT"]
         sizes = {"M": bm, "N": bn, "K": kt}
         tuned.run(random_inputs("GEMM-NN", sizes, seed=0))
+
+    def test_missing_dim_symbol_is_clear_valueerror(self, gen):
+        """Regression: a dim symbol absent from ``sizes`` was silently
+        treated as divisible, deferring to an opaque KeyError deep in the
+        padding path; it must raise up front, naming the symbol."""
+        tuned = gen.generate("GEMM-NN")
+        with pytest.raises(ValueError, match="K"):
+            tuned._tile_divisible({"M": 16, "N": 16})
+
+    def test_missing_dim_symbol_via_run(self, gen):
+        from repro.blas3 import random_inputs
+
+        tuned = gen.generate("GEMM-NN")
+        inputs = random_inputs("GEMM-NN", {"M": 16, "N": 16, "K": 8}, seed=8)
+        with pytest.raises(ValueError, match="GEMM-NN.*K"):
+            tuned.run(inputs, sizes={"M": 16, "N": 16})

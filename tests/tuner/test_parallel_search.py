@@ -1,0 +1,102 @@
+"""Parallel search must be observably identical to the sequential search.
+
+The pool fans (candidate × config) units out to worker processes but the
+parent reduces results in submission order, so for every routine family
+``jobs=2`` must pick the exact same winner — same script object, same
+config, bit-identical modeled GFLOPS — as ``jobs=1``.
+"""
+
+import pytest
+
+from repro.blas3.routines import build_routine
+from repro.gpu import GTX_285
+from repro.tuner import LibraryGenerator, VariantSearch, resolve_jobs
+
+SMALL_SPACE = [
+    {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
+    {"BM": 32, "BN": 16, "KT": 8, "TX": 16, "TY": 2},
+]
+
+#: one representative routine per BLAS3 family
+FAMILY_REPS = ["GEMM-TN", "SYMM-LL", "TRMM-LL-N", "TRSM-LL-N"]
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return LibraryGenerator(GTX_285, space=SMALL_SPACE, jobs=1)
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("routine", FAMILY_REPS)
+    def test_same_winner_as_sequential(self, gen, routine):
+        source = build_routine(routine)
+        candidates = gen.candidates(routine)
+        seq = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=1).search(
+            routine, source, candidates
+        )
+        par = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=2).search(
+            routine, source, candidates
+        )
+        assert par.best.script is seq.best.script  # same candidate object
+        assert par.best.config == seq.best.config
+        assert par.best.gflops == seq.best.gflops  # bit-identical
+
+    def test_full_score_list_identical(self, gen):
+        source = build_routine("SYMM-LL")
+        candidates = gen.candidates("SYMM-LL")
+        seq = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=1).search(
+            "SYMM-LL", source, candidates, keep_all=True
+        )
+        par = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=2).search(
+            "SYMM-LL", source, candidates, keep_all=True
+        )
+        assert len(seq.scores) == len(par.scores)
+        for a, b in zip(seq.scores, par.scores):
+            assert a.config == b.config
+            assert a.gflops == b.gflops
+            assert a.error == b.error
+            assert a.applied_key == b.applied_key
+
+    def test_search_level_jobs_override(self, gen):
+        source = build_routine("GEMM-NN")
+        candidates = gen.candidates("GEMM-NN")
+        searcher = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=1)
+        seq = searcher.search("GEMM-NN", source, candidates)
+        par = searcher.search("GEMM-NN", source, candidates, jobs=2)
+        assert par.best.config == seq.best.config
+        assert par.best.gflops == seq.best.gflops
+
+    def test_parallel_winner_is_runnable(self, gen):
+        import numpy as np
+
+        from repro.blas3 import random_inputs, reference
+
+        source = build_routine("GEMM-NN")
+        candidates = gen.candidates("GEMM-NN")
+        par = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=2).search(
+            "GEMM-NN", source, candidates
+        )
+        # the comp shipped back from the worker must be a usable kernel
+        from repro.gpu.simulator import SimulatedGPU
+
+        sizes = {"M": 32, "N": 32, "K": 16}
+        inputs = random_inputs("GEMM-NN", sizes, seed=11)
+        kernel_inputs = dict(inputs)
+        kernel_inputs["C"] = np.zeros((32, 32), np.float32)
+        run = SimulatedGPU(GTX_285).run(par.best.comp, sizes, kernel_inputs)
+        want = reference("GEMM-NN", dict(inputs, C=np.zeros((32, 32), np.float32)))
+        np.testing.assert_allclose(
+            run.outputs["C"], want, rtol=3e-3, atol=3e-3
+        )
+
+
+class TestResolveJobs:
+    def test_default_is_cpu_count(self):
+        import os
+
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_explicit(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7

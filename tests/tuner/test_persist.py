@@ -63,6 +63,43 @@ class TestRoundtrip:
         with pytest.raises(ValueError):
             load_library(path)
 
+    def test_custom_arch_roundtrips(self, tmp_path):
+        """Regression: save_library raised a bare StopIteration for any
+        arch outside PLATFORMS; custom platforms must round-trip."""
+        import dataclasses
+
+        from repro.gpu.arch import GTX_285 as base
+
+        custom = dataclasses.replace(base, name="Custom GT999", num_sms=42)
+        gen = LibraryGenerator(custom, space=SMALL_SPACE)
+        lib = gen.library(["GEMM-NN"])
+        path = tmp_path / "custom.json"
+        save_library(lib, path)  # must not raise StopIteration
+        again = load_library(path)
+        assert again.arch == custom
+        assert again.arch.name == "Custom GT999"
+        assert again.arch.num_sms == 42
+
+    def test_unknown_platform_key_is_clear_valueerror(self, lib, tmp_path):
+        import json
+
+        path = tmp_path / "lib.json"
+        save_library(lib, path)
+        doc = json.loads(path.read_text())
+        doc["arch"] = "voodoo3"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="voodoo3"):
+            load_library(path)
+
+    def test_non_arch_object_rejected_by_name(self):
+        from repro.tuner.persist import arch_record
+
+        class Impostor:
+            name = "not-a-gpu"
+
+        with pytest.raises(ValueError, match="not-a-gpu"):
+            arch_record(Impostor())
+
     def test_tampered_script_caught_by_verify(self, lib, tmp_path):
         import json
 
