@@ -1,0 +1,66 @@
+"""Benchmark: per-stage wall time of the generate pipeline, from the trace.
+
+Runs a cold and a warm ``generate()`` per representative routine with a
+:class:`~repro.telemetry.Telemetry` attached, aggregates each trace into
+per-stage totals (compose / search / verify / cache probes), prints the
+table, and writes the machine-readable result to ``BENCH_pipeline.json``
+at the repo root so successive runs can be diffed.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.gpu import GTX_285
+from repro.telemetry import Telemetry, aggregate_stages
+from repro.tuner import LibraryGenerator
+
+from .conftest import emit
+
+ROUTINES = ["GEMM-NN", "SYMM-LL", "TRMM-LL-N", "TRSM-LL-N"]
+
+BENCH_PATH = Path(__file__).parents[1] / "BENCH_pipeline.json"
+
+
+def _traced_generate(cache_dir, routine):
+    telemetry = Telemetry()
+    gen = LibraryGenerator(GTX_285, cache_dir=cache_dir, telemetry=telemetry)
+    t0 = time.perf_counter()
+    gen.generate(routine)
+    wall_s = time.perf_counter() - t0
+    doc = telemetry.document()
+    return wall_s, doc, aggregate_stages(doc)
+
+
+def test_bench_pipeline_stages(tmp_path):
+    record = {"arch": "GTX 285", "routines": {}}
+    lines = []
+    for routine in ROUTINES:
+        cold_s, cold_doc, cold_stages = _traced_generate(tmp_path, routine)
+        warm_s, warm_doc, warm_stages = _traced_generate(tmp_path, routine)
+
+        # cold runs the full pipeline; warm stops at the cache probe
+        assert "search" in cold_stages and "verify" in cold_stages
+        assert "search" not in warm_stages
+        assert cold_doc["counters"].get("cache.routine.miss") == 1
+        assert warm_doc["counters"].get("cache.routine.hit") == 1
+
+        record["routines"][routine] = {
+            "cold_wall_s": cold_s,
+            "warm_wall_s": warm_s,
+            "cold_stages": cold_stages,
+            "warm_stages": warm_stages,
+            "cold_counters": cold_doc["counters"],
+        }
+        lines.append(f"{routine} (cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms)")
+        for name, agg in cold_stages.items():
+            lines.append(
+                f"  {name:14s} x{agg['count']:<3d} {agg['total_s'] * 1e3:8.1f} ms"
+            )
+
+    BENCH_PATH.write_text(json.dumps(record, indent=1))
+    emit(
+        "pipeline stage timings, GTX 285, curated space\n"
+        + "\n".join(lines)
+        + f"\nwritten to {BENCH_PATH}"
+    )

@@ -56,6 +56,7 @@ from .gpu import (
 )
 from .ir import Array, Computation, build_computation, interpret, validate, var
 from .oa import OAFramework
+from .telemetry import Metrics, Span, Telemetry, Tracer
 from .tuner import GeneratedLibrary, LibraryGenerator, TunedRoutine, VariantSearch
 
 __version__ = "1.0.0"
@@ -79,9 +80,13 @@ __all__ = [
     "GTX_285",
     "GeneratedLibrary",
     "LibraryGenerator",
+    "Metrics",
     "OAFramework",
     "PLATFORMS",
     "SimulatedGPU",
+    "Span",
+    "Telemetry",
+    "Tracer",
     "TunedRoutine",
     "VariantSearch",
     "build_computation",

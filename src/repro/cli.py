@@ -19,6 +19,9 @@ Commands
 ``library``
     Tune every variant (all 24 by default) and save the resulting
     library as JSON (reloadable with ``repro.tuner.load_library``).
+``stats TRACE``
+    Print the per-stage wall-time table and counter registry of a trace
+    document previously written with ``--trace-json``.
 
 All commands take ``--arch {geforce9800,gtx285,fermi}`` (default gtx285)
 and ``-n`` for the problem size (default 4096).  The tuning commands
@@ -32,6 +35,9 @@ and ``-n`` for the problem size (default 4096).  The tuning commands
     when set, otherwise caching is off.
 ``--no-cache``
     Disable the tuning cache even if ``$REPRO_CACHE_DIR`` is set.
+``--trace-json PATH``
+    Record pipeline telemetry (nested spans + counters) and write the
+    machine-readable trace document to PATH on exit.
 """
 
 from __future__ import annotations
@@ -85,6 +91,12 @@ def _add_tuning(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the tuning cache even if $REPRO_CACHE_DIR is set",
     )
+    parser.add_argument(
+        "--trace-json",
+        default=None,
+        metavar="PATH",
+        help="record pipeline telemetry and write the trace document here",
+    )
 
 
 def _make_oa(args) -> OAFramework:
@@ -93,11 +105,25 @@ def _make_oa(args) -> OAFramework:
         cache_dir = getattr(args, "cache_dir", None) or os.environ.get(
             "REPRO_CACHE_DIR"
         )
+    telemetry = None
+    if getattr(args, "trace_json", None):
+        from .telemetry import Telemetry
+
+        telemetry = Telemetry()
     return OAFramework(
         PLATFORMS[args.arch],
         jobs=getattr(args, "jobs", None),
         cache_dir=cache_dir,
+        telemetry=telemetry,
     )
+
+
+def _finish_trace(oa: OAFramework, args) -> None:
+    """Write the run's trace document if ``--trace-json`` was given."""
+    path = getattr(args, "trace_json", None)
+    if path and oa.telemetry.enabled:
+        oa.telemetry.write_json(path)
+        print(f"// trace written to {path}", file=sys.stderr)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -122,6 +148,11 @@ def _build_parser() -> argparse.ArgumentParser:
         _add_common(p)
         if name != "candidates":
             _add_tuning(p)
+
+    p = sub.add_parser(
+        "stats", help="print per-stage stats from a --trace-json document"
+    )
+    p.add_argument("trace", help="path to a trace JSON written by --trace-json")
 
     p = sub.add_parser(
         "library", help="tune all variants and save the library as JSON"
@@ -172,6 +203,7 @@ def _cmd_generate(args) -> int:
         conds = ", ".join(str(c) for c in tuned.conditions)
         print(f"// conditioned on {conds} (runtime check_blank_zero dispatch)")
     print(tuned.script.script.render())
+    _finish_trace(oa, args)
     return 0
 
 
@@ -209,12 +241,14 @@ def _cmd_compare(args) -> int:
             title=f"{args.routine} on {arch.name}, N={args.n}",
         )
     )
+    _finish_trace(oa, args)
     return 0
 
 
 def _cmd_cuda(args) -> int:
     oa = _make_oa(args)
     print(oa.cuda(args.routine))
+    _finish_trace(oa, args)
     return 0
 
 
@@ -237,6 +271,21 @@ def _cmd_library(args) -> int:
     output = args.output or f"oa-{args.arch}.json"
     save_library(lib, output)
     print(f"saved {len(lib.routines)} routines to {output}")
+    _finish_trace(oa, args)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    import json
+
+    from .telemetry import stage_table
+
+    try:
+        document = json.loads(open(args.trace).read())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    print(stage_table(document))
     return 0
 
 
@@ -264,6 +313,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_candidates(args)
     if args.command == "library":
         return _cmd_library(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     return 1  # pragma: no cover
 
 

@@ -49,10 +49,17 @@ class TranslationResult:
 
 
 class EpodTranslator:
-    """Applies EPOD scripts to computations."""
+    """Applies EPOD scripts to computations.
 
-    def __init__(self, params: Optional[Dict[str, int]] = None):
+    ``metrics`` (a :class:`repro.telemetry.Metrics`) counts each
+    component omitted in ``filter`` mode as
+    ``translate.components_omitted`` — inside a search worker that is
+    the worker-local registry shipped back with the unit's result.
+    """
+
+    def __init__(self, params: Optional[Dict[str, int]] = None, metrics=None):
         self.params = dict(params or {})
+        self.metrics = metrics
 
     def translate(
         self,
@@ -74,6 +81,8 @@ class EpodTranslator:
                 if mode == "strict":
                     raise
                 result.omitted.append((inv, str(failure)))
+                if self.metrics is not None:
+                    self.metrics.incr("translate.components_omitted")
                 # Outputs of an omitted component alias its inputs when the
                 # arity matches (the loops were not restructured), so later
                 # invocations can still resolve them.

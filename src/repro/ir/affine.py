@@ -57,6 +57,13 @@ class AffineExpr:
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("AffineExpr is immutable")
 
+    def __reduce__(self):
+        # Default slot-state pickling restores via setattr, which the
+        # immutability guard rejects; rebuild through __init__ instead.
+        # Without this, a translated Computation could not cross the
+        # search pool's process boundary.
+        return (AffineExpr, (dict(self.terms), self.offset))
+
     # -- constructors -----------------------------------------------------
     @staticmethod
     def constant(value: int) -> "AffineExpr":
@@ -205,6 +212,10 @@ class _MinMaxExpr:
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __reduce__(self):
+        # See AffineExpr.__reduce__: the guard breaks slot-state pickling.
+        return (type(self), (self.operands,))
 
     @property
     def is_constant(self) -> bool:

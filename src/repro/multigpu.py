@@ -32,6 +32,7 @@ import numpy as np
 
 from .blas3.routines import get_spec
 from .gpu.arch import GPUArch
+from .telemetry import Telemetry, ensure_telemetry
 from .tuner.library import LibraryGenerator, TunedRoutine
 
 __all__ = ["MultiGPULibrary", "MultiGPUTiming", "PCIE_BANDWIDTH_GBS"]
@@ -70,12 +71,18 @@ class MultiGPULibrary:
         arch: GPUArch,
         num_devices: int = 2,
         generator: Optional[LibraryGenerator] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if num_devices < 1:
             raise ValueError("need at least one device")
         self.arch = arch
         self.num_devices = num_devices
-        self.generator = generator or LibraryGenerator(arch)
+        if telemetry is None and generator is not None:
+            telemetry = generator.telemetry
+        self.telemetry = ensure_telemetry(telemetry)
+        self.generator = generator or LibraryGenerator(
+            arch, telemetry=self.telemetry
+        )
 
     # ------------------------------------------------------------------
     def _split_dim(self, name: str) -> str:
@@ -92,42 +99,81 @@ class MultiGPULibrary:
             return "A"  # the non-split operand panel
         return "A"  # the symmetric/triangular matrix
 
+    def _panel_bounds(self, length: int) -> List[tuple]:
+        """``(lo, hi)`` split-dimension slices, one per non-empty panel.
+
+        Ceil-sized panels: an uneven split gives the first devices the
+        larger panel and the last the remainder, so the slowest device
+        models the *largest* panel (flooring under-modeled the work and
+        over-reported GFLOPS).  Devices beyond ``length`` get no panel.
+        """
+        step = -(-length // self.num_devices)
+        bounds = []
+        for d in range(self.num_devices):
+            lo = min(length, d * step)
+            hi = min(length, lo + step)
+            if lo < hi:
+                bounds.append((lo, hi))
+        return bounds
+
     # ------------------------------------------------------------------
     def routine(self, name: str) -> TunedRoutine:
         return self.generator.generate(name)
 
     def timing(self, name: str, n: int) -> MultiGPUTiming:
-        """Model the multi-device execution time at problem size ``n``."""
-        spec = get_spec(name)
-        tuned = self.routine(name)
-        split = self._split_dim(name)
-        sizes = spec.make_sizes(n)
-        panel_sizes = dict(sizes)
-        panel_sizes[split] = max(1, sizes[split] // self.num_devices)
+        """Model the multi-device execution time at problem size ``n``.
 
-        from .gpu.simulator import SimulatedGPU
+        Divisibility matches :meth:`run`: uneven splits are modeled with
+        ceil-sized panels, exactly the panels ``run()`` executes.
+        """
+        with self.telemetry.span(
+            "multigpu.timing", routine=name, n=n, devices=self.num_devices
+        ):
+            spec = get_spec(name)
+            tuned = self.routine(name)
+            split = self._split_dim(name)
+            sizes = spec.make_sizes(n)
+            bounds = self._panel_bounds(sizes[split])
+            if sizes[split] % self.num_devices:
+                self.telemetry.incr("multigpu.uneven_splits")
 
-        gpu = SimulatedGPU(self.arch)
-        panel_flops = spec.nominal_flops(panel_sizes)
-        run = gpu.profile(tuned.comp, panel_sizes, nominal_flops=panel_flops)
-        per_device = [run.time_s] * self.num_devices
+            from .gpu.simulator import SimulatedGPU
 
-        bcast_name = self._broadcast_array(name)
-        bcast_elems = 1.0
-        for arr in spec.arrays:
-            if arr.name == bcast_name:
-                for d in arr.dims:
-                    bcast_elems *= d.evaluate(sizes)
-        # One copy per extra device (device 0 holds the data already).
-        broadcast_s = (
-            bcast_elems * 4.0 * max(0, self.num_devices - 1)
-        ) / (PCIE_BANDWIDTH_GBS * 1e9)
+            gpu = SimulatedGPU(self.arch)
+            time_by_len: Dict[int, float] = {}
+            per_device = []
+            for lo, hi in bounds:
+                panel_len = hi - lo
+                if panel_len not in time_by_len:
+                    panel_sizes = dict(sizes)
+                    panel_sizes[split] = panel_len
+                    run = gpu.profile(
+                        tuned.comp,
+                        panel_sizes,
+                        nominal_flops=spec.nominal_flops(panel_sizes),
+                    )
+                    time_by_len[panel_len] = run.time_s
+                per_device.append(time_by_len[panel_len])
 
-        return MultiGPUTiming(
-            per_device_s=per_device,
-            broadcast_s=broadcast_s,
-            nominal_flops=spec.nominal_flops(sizes),
-        )
+            bcast_name = self._broadcast_array(name)
+            bcast_bytes = 0.0
+            for arr in spec.arrays:
+                if arr.name == bcast_name:
+                    elems = 1.0
+                    for d in arr.dims:
+                        elems *= d.evaluate(sizes)
+                    bcast_bytes = elems * float(np.dtype(arr.dtype).itemsize)
+            # One copy per extra device (device 0 holds the data already).
+            broadcast_s = (
+                bcast_bytes * max(0, self.num_devices - 1)
+            ) / (PCIE_BANDWIDTH_GBS * 1e9)
+
+            self.telemetry.incr("multigpu.timings")
+            return MultiGPUTiming(
+                per_device_s=per_device,
+                broadcast_s=broadcast_s,
+                nominal_flops=spec.nominal_flops(sizes),
+            )
 
     def gflops(self, name: str, n: int) -> float:
         return self.timing(name, n).gflops
@@ -148,34 +194,37 @@ class MultiGPULibrary:
         alpha: float = 1.0,
         beta: float = 1.0,
     ) -> np.ndarray:
-        """Functional multi-device execution: split, run panels, stitch."""
+        """Functional multi-device execution: split, run panels, stitch.
+
+        Divisibility matches :meth:`timing`: an uneven split runs
+        ceil-sized panels on the first devices and the remainder on the
+        last (the tuned kernel pads internally as needed).
+        """
         spec = get_spec(name)
         tuned = self.routine(name)
         split = self._split_dim(name)
-        out_name = spec.output
 
         full = {k: np.asarray(v) for k, v in inputs.items()}
         length = full["B"].shape[1] if split == "N" else full["B"].shape[0]
-        if length % self.num_devices:
-            raise ValueError(
-                f"{split}={length} not divisible across {self.num_devices} devices"
-            )
-        step = length // self.num_devices
-
-        panels = []
-        for d in range(self.num_devices):
-            lo, hi = d * step, (d + 1) * step
-            panel_inputs = {}
-            for arr in spec.arrays:
-                if arr.name not in full:
-                    continue
-                data = full[arr.name]
-                if self._is_split_array(spec, arr.name):
-                    data = data[:, lo:hi] if split == "N" else data[lo:hi, :]
-                panel_inputs[arr.name] = np.ascontiguousarray(data)
-            panels.append(tuned.run(panel_inputs, alpha=alpha, beta=beta))
-        axis = 1 if split == "N" else 0
-        return np.concatenate(panels, axis=axis)
+        bounds = self._panel_bounds(length)
+        with self.telemetry.span(
+            "multigpu.run", routine=name, devices=self.num_devices, panels=len(bounds)
+        ):
+            if length % self.num_devices:
+                self.telemetry.incr("multigpu.uneven_splits")
+            panels = []
+            for lo, hi in bounds:
+                panel_inputs = {}
+                for arr in spec.arrays:
+                    if arr.name not in full:
+                        continue
+                    data = full[arr.name]
+                    if self._is_split_array(spec, arr.name):
+                        data = data[:, lo:hi] if split == "N" else data[lo:hi, :]
+                    panel_inputs[arr.name] = np.ascontiguousarray(data)
+                panels.append(tuned.run(panel_inputs, alpha=alpha, beta=beta))
+            axis = 1 if split == "N" else 0
+            return np.concatenate(panels, axis=axis)
 
     def _is_split_array(self, spec, array_name: str) -> bool:
         """Whether an array is panel-split (vs broadcast whole)."""

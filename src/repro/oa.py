@@ -36,6 +36,7 @@ from .composer.generator import ComposedScript
 from .epod.script import EpodScript, parse_script
 from .gpu.arch import GPUArch, GTX_285
 from .gpu.simulator import SimulatedGPU
+from .telemetry import Telemetry, ensure_telemetry
 from .tuner.library import GeneratedLibrary, LibraryGenerator, TunedRoutine
 from .tuner.space import Config
 
@@ -43,7 +44,16 @@ __all__ = ["OAFramework"]
 
 
 class OAFramework:
-    """Script-controlled compilation framework for BLAS3 on (simulated) GPUs."""
+    """Script-controlled compilation framework for BLAS3 on (simulated) GPUs.
+
+    Pass a :class:`repro.telemetry.Telemetry` to record nested spans and
+    counters across the whole compose → search → verify pipeline::
+
+        telemetry = Telemetry()
+        oa = OAFramework(GTX_285, telemetry=telemetry)
+        oa.generate("SYMM-LL")
+        telemetry.write_json("trace.json")   # or telemetry.document()
+    """
 
     def __init__(
         self,
@@ -53,8 +63,10 @@ class OAFramework:
         full_space: bool = False,
         jobs: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.arch = arch
+        self.telemetry = ensure_telemetry(telemetry)
         self.generator = LibraryGenerator(
             arch,
             tune_size=tune_size,
@@ -62,6 +74,7 @@ class OAFramework:
             full_space=full_space,
             jobs=jobs,
             cache_dir=cache_dir,
+            telemetry=self.telemetry,
         )
         self.gpu = SimulatedGPU(arch)
 

@@ -1,0 +1,33 @@
+"""Tracing + metrics for the OA pipeline.
+
+The pipeline's observability layer: nested wall-time spans
+(:mod:`~repro.telemetry.trace`), process-pool-aware counters
+(:mod:`~repro.telemetry.metrics`), the :class:`Telemetry` facade every
+pipeline object accepts (:mod:`~repro.telemetry.core`) and the
+per-stage report the ``stats`` subcommand prints
+(:mod:`~repro.telemetry.report`).
+"""
+
+from .core import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    TRACE_FORMAT,
+    Telemetry,
+    ensure_telemetry,
+)
+from .metrics import Metrics
+from .report import aggregate_stages, stage_table
+from .trace import Span, Tracer
+
+__all__ = [
+    "Metrics",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Span",
+    "TRACE_FORMAT",
+    "Telemetry",
+    "Tracer",
+    "aggregate_stages",
+    "ensure_telemetry",
+    "stage_table",
+]

@@ -1,0 +1,48 @@
+"""Counter registry for the OA pipeline, process-pool-aware.
+
+A :class:`Metrics` holds named monotonic counters (cache hits, pool
+fallbacks, omitted components, ...).  The search's worker processes
+cannot share the parent's registry, so each evaluation unit accumulates
+into a fresh worker-local ``Metrics`` and ships its :meth:`snapshot`
+back with the result; the parent :meth:`merge`\\ s the snapshots in
+submission order.  Counter addition commutes, so the merged totals are
+deterministic regardless of pool scheduling.
+
+Counter names are dotted paths (``cache.routine.hit``,
+``search.pool_fallbacks``); the glossary lives in the README's
+telemetry section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["Metrics"]
+
+
+class Metrics:
+    """Named monotonic counters with deterministic merge."""
+
+    def __init__(self):
+        self._counters: Dict[str, int] = {}
+
+    def incr(self, name: str, n: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def merge(self, counters: Mapping[str, int]) -> None:
+        """Fold a worker's counter snapshot into this registry."""
+        for name in sorted(counters):
+            self.incr(name, counters[name])
+
+    def snapshot(self) -> Dict[str, int]:
+        """A JSON-ready copy, keys sorted for stable documents."""
+        return {name: self._counters[name] for name in sorted(self._counters)}
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Metrics({self.snapshot()})"

@@ -1,0 +1,64 @@
+"""Human-readable views of a trace document (the ``stats`` subcommand).
+
+:func:`aggregate_stages` folds a span forest into per-stage totals —
+how many times each stage ran and how much wall time it took —
+preserving first-appearance order so the table reads in pipeline order
+(compose before search before verify).  :func:`stage_table` renders
+that plus the counter registry as aligned ASCII tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..reporting.format import ascii_table
+
+__all__ = ["aggregate_stages", "stage_table"]
+
+
+def aggregate_stages(document: Dict) -> Dict[str, Dict[str, float]]:
+    """Per-stage ``{"count", "total_s"}`` totals from a trace document.
+
+    Stage identity is the span name; nested spans contribute to their
+    own stage only (a parent's total already includes its children's
+    wall time, so summing across stages double-counts by design — the
+    table is a profile, not a partition).
+    """
+    stages: Dict[str, Dict[str, float]] = {}
+
+    def visit(span_doc: Dict) -> None:
+        stage = stages.setdefault(
+            str(span_doc.get("name", "")), {"count": 0, "total_s": 0.0}
+        )
+        stage["count"] += 1
+        stage["total_s"] += float(span_doc.get("duration_s", 0.0))
+        for child in span_doc.get("children", []):
+            visit(child)
+
+    for root in document.get("spans", []):
+        visit(root)
+    return stages
+
+
+def stage_table(document: Dict) -> str:
+    """Render a trace document as per-stage and counter tables."""
+    stages = aggregate_stages(document)
+    rows: List[List[object]] = [
+        [name, stage["count"], f"{stage['total_s'] * 1e3:.1f}"]
+        for name, stage in stages.items()
+    ]
+    parts = [
+        ascii_table(
+            ["stage", "spans", "total ms"], rows, title="pipeline stages"
+        )
+    ]
+    counters = document.get("counters", {})
+    if counters:
+        parts.append(
+            ascii_table(
+                ["counter", "value"],
+                [[name, counters[name]] for name in sorted(counters)],
+                title="counters",
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,109 @@
+"""Nested span tracing for the OA pipeline.
+
+A :class:`Span` is one timed region of pipeline work — composing a
+routine, translating one candidate, probing the tuning cache — with a
+name, free-form tags, a wall-clock duration and child spans.  A
+:class:`Tracer` maintains the open-span stack, so nesting falls out of
+lexical ``with`` scoping::
+
+    tracer = Tracer()
+    with tracer.span("generate", routine="SYMM-LL"):
+        with tracer.span("compose") as sp:
+            sp.tags["candidates"] = 12
+
+Spans serialise to plain dicts (:meth:`Span.to_dict`) so a whole trace
+round-trips through JSON; the benchmarks diff these documents across
+runs.  Timestamps are relative to the tracer's creation (monotonic
+clock), which keeps traces comparable without leaking wall-clock epochs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed, tagged region of pipeline work."""
+
+    name: str
+    tags: Dict[str, object] = field(default_factory=dict)
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    children: List["Span"] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "tags": dict(self.tags),
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "Span":
+        return cls(
+            name=str(doc.get("name", "")),
+            tags=dict(doc.get("tags", {})),
+            start_s=float(doc.get("start_s", 0.0)),
+            duration_s=float(doc.get("duration_s", 0.0)),
+            children=[cls.from_dict(c) for c in doc.get("children", [])],
+        )
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """All spans named ``name`` in this subtree, depth-first."""
+        return [sp for sp in self.walk() if sp.name == name]
+
+
+class Tracer:
+    """Records a forest of nested spans.
+
+    Thread-hostile by design: one tracer belongs to one pipeline run.
+    Worker processes do not trace (they report counters instead — see
+    :mod:`repro.telemetry.metrics`), so the span tree always reflects
+    the parent's call structure.
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._t0 = clock()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **tags) -> Iterator[Span]:
+        sp = Span(name, dict(tags), start_s=self._clock() - self._t0)
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(sp)
+        self._stack.append(sp)
+        try:
+            yield sp
+        except BaseException:
+            sp.tags.setdefault("outcome", "error")
+            raise
+        finally:
+            sp.duration_s = self._clock() - self._t0 - sp.start_s
+            self._stack.pop()
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> List[Span]:
+        return [sp for sp in self.walk() if sp.name == name]

@@ -25,19 +25,30 @@ Loads are corruption-tolerant by construction: a truncated, tampered or
 otherwise unreadable cache file behaves exactly like a miss — the
 pipeline recomputes and overwrites it.  Writes go through a temp file +
 :func:`os.replace` so readers never observe a half-written document.
+
+**Concurrency guarantee.**  Verdict stores are read-merge-write cycles,
+so :meth:`TuningCache.store_verdicts` serialises them through an
+exclusive ``.lock`` file (``flock`` where available): concurrent
+processes — the norm with ``jobs>1`` and parallel CI — converge to the
+*union* of their verdicts instead of the last writer silently dropping
+the others'.  Routine-winner stores are idempotent full documents
+(every writer computes the same winner for the same key), so they stay
+lock-free behind the atomic replace.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from ..gpu.arch import GPUArch
+from ..telemetry import Telemetry, ensure_telemetry
 from .library import TunedRoutine
 from .space import Config
 
@@ -81,10 +92,15 @@ class TuningCache:
     schema) — callers treat that as a cold cache and rebuild.
     """
 
-    def __init__(self, cache_dir: Union[str, Path]):
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        telemetry: Optional[Telemetry] = None,
+    ):
         self.dir = Path(cache_dir)
         self.hits = 0
         self.misses = 0
+        self.telemetry = ensure_telemetry(telemetry)
 
     # -- keying --------------------------------------------------------
     def routine_key(
@@ -155,13 +171,16 @@ class TuningCache:
         doc = self._read(self._path("routine", routine, key))
         if not doc or doc.get("format") != FORMAT_VERSION or doc.get("key") != key:
             self.misses += 1
+            self.telemetry.incr("cache.routine.miss")
             return None
         try:
             tuned = rebuild_routine(doc["record"], arch)
         except Exception:
             self.misses += 1
+            self.telemetry.incr("cache.routine.miss")
             return None
         self.hits += 1
+        self.telemetry.incr("cache.routine.hit")
         return tuned
 
     def store_routine(self, key: str, tuned: TunedRoutine) -> None:
@@ -174,12 +193,13 @@ class TuningCache:
             "record": routine_record(tuned),
         }
         self._write(self._path("routine", tuned.name, key), doc)
+        self.telemetry.incr("cache.routine.store")
 
     # -- verification verdicts ----------------------------------------
-    def load_verdicts(self, key: str) -> Dict[str, bool]:
+    def _parse_verdicts(self, key: str, path: Path) -> Dict[str, bool]:
         from .persist import FORMAT_VERSION
 
-        doc = self._read(self._path("verdicts", "all", key))
+        doc = self._read(path)
         if not doc or doc.get("format") != FORMAT_VERSION or doc.get("key") != key:
             return {}
         verdicts = doc.get("verdicts")
@@ -187,10 +207,55 @@ class TuningCache:
             return {}
         return {str(k): bool(v) for k, v in verdicts.items()}
 
+    def load_verdicts(self, key: str) -> Dict[str, bool]:
+        verdicts = self._parse_verdicts(key, self._path("verdicts", "all", key))
+        self.telemetry.incr("cache.verdicts.hit" if verdicts else "cache.verdicts.miss")
+        return verdicts
+
     def store_verdicts(self, key: str, verdicts: Dict[str, bool]) -> None:
+        """Merge ``verdicts`` into the on-disk document.
+
+        The read-merge-write cycle runs under an exclusive per-file
+        lock, so concurrent writers (``jobs>1`` pipelines, parallel CI
+        shards) converge to the union of everything stored rather than
+        losing each other's updates.
+        """
         from .persist import FORMAT_VERSION
 
-        merged = dict(self.load_verdicts(key))
-        merged.update(verdicts)
-        doc = {"format": FORMAT_VERSION, "key": key, "verdicts": merged}
-        self._write(self._path("verdicts", "all", key), doc)
+        path = self._path("verdicts", "all", key)
+        with self._update_lock(path):
+            merged = self._parse_verdicts(key, path)
+            merged.update(verdicts)
+            doc = {"format": FORMAT_VERSION, "key": key, "verdicts": merged}
+            self._write(path, doc)
+        self.telemetry.incr("cache.verdicts.store")
+
+    @contextlib.contextmanager
+    def _update_lock(self, path: Path) -> Iterator[None]:
+        """Exclusive inter-process lock for one cache file's update cycle.
+
+        Uses ``flock`` on a sidecar ``.lock`` file.  Degrades to no
+        locking — matching :meth:`_write`'s no-caching degradation —
+        when the lock file cannot be created (read-only directory) or
+        the platform has no ``fcntl``.
+        """
+        lock_path = path.with_name(path.name + ".lock")
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            fh = open(lock_path, "a+")
+        except OSError:
+            yield
+            return
+        try:
+            try:
+                import fcntl
+            except ImportError:  # non-POSIX: best effort, unlocked
+                yield
+                return
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        finally:
+            fh.close()

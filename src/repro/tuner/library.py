@@ -32,6 +32,7 @@ from ..epod.translator import EpodTranslator
 from ..gpu.arch import GPUArch
 from ..gpu.simulator import RunResult, SimulatedGPU
 from ..ir.ast import Computation
+from ..telemetry import Telemetry, ensure_telemetry
 from ..transforms.triangular import blank_zero_flag
 from .search import CandidateScore, SearchResult, VariantSearch
 from .space import Config
@@ -218,11 +219,18 @@ class LibraryGenerator:
         check_candidates: bool = False,
         jobs: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.arch = arch
         self.tune_size = tune_size
+        self.telemetry = ensure_telemetry(telemetry)
         self.searcher = VariantSearch(
-            arch, tune_size, space=space, full_space=full_space, jobs=jobs
+            arch,
+            tune_size,
+            space=space,
+            full_space=full_space,
+            jobs=jobs,
+            telemetry=self.telemetry,
         )
         self.base_script = parse_script(BASE_GEMM_SCRIPT, name="gemm-nn")
         self.verify_size = verify_size
@@ -234,7 +242,7 @@ class LibraryGenerator:
         if cache_dir is not None:
             from .cache import TuningCache, space_fingerprint
 
-            self.disk_cache = TuningCache(cache_dir)
+            self.disk_cache = TuningCache(cache_dir, telemetry=self.telemetry)
             self._base_hash = hashlib.sha256(
                 self.base_script.render().encode("utf-8")
             ).hexdigest()[:24]
@@ -300,27 +308,33 @@ class LibraryGenerator:
         key = get_spec(name).name
         if key in self._cache:
             return self._cache[key]
-        disk_key = None
-        if self.disk_cache is not None:
-            disk_key = self._routine_cache_key(key)
-            cached = self.disk_cache.load_routine(disk_key, key, self.arch)
-            if cached is not None:
-                self._cache[key] = cached
-                return cached
-        spec = get_spec(name)
-        source = build_routine(name)
-        candidates = self.candidates(name)
-        result = self.searcher.search(
-            name, source, candidates, keep_all=keep_all_scores
-        )
+        with self.telemetry.span("generate", routine=key) as sp:
+            disk_key = None
+            if self.disk_cache is not None:
+                disk_key = self._routine_cache_key(key)
+                with self.telemetry.span("cache.probe", routine=key, kind="routine"):
+                    cached = self.disk_cache.load_routine(disk_key, key, self.arch)
+                if cached is not None:
+                    sp.tags["outcome"] = "cache-hit"
+                    self._cache[key] = cached
+                    return cached
+            spec = get_spec(name)
+            source = build_routine(name)
+            with self.telemetry.span("compose", routine=key) as csp:
+                candidates = self.candidates(name)
+                csp.tags["candidates"] = len(candidates)
+            result = self.searcher.search(
+                name, source, candidates, keep_all=keep_all_scores
+            )
 
-        tuned = self._verified_best(spec, source, result)
-        if tuned.conditions:
-            tuned.fallback = self._unconditioned_fallback(spec, source, result)
-        self._cache[key] = tuned
-        if self.disk_cache is not None:
-            self.disk_cache.store_routine(disk_key, tuned)
-        return tuned
+            with self.telemetry.span("verify", routine=key):
+                tuned = self._verified_best(spec, source, result)
+                if tuned.conditions:
+                    tuned.fallback = self._unconditioned_fallback(spec, source, result)
+            self._cache[key] = tuned
+            if self.disk_cache is not None:
+                self.disk_cache.store_routine(disk_key, tuned)
+            return tuned
 
     def library(self, names: Optional[Sequence[str]] = None) -> "GeneratedLibrary":
         names = list(names or (v.name for v in ALL_VARIANTS))
@@ -338,33 +352,43 @@ class LibraryGenerator:
     def _script_verified(self, source: Computation, score: CandidateScore) -> bool:
         cache_key = (source.name, score.applied_key)
         if cache_key in self._verify_cache:
+            self.telemetry.incr("verify.memo_reuse")
             return self._verify_cache[cache_key]
         token = None
         if self.disk_cache is not None:
             from .cache import applied_key_token
 
             if not self._verdicts_loaded:
-                self._disk_verdicts = self.disk_cache.load_verdicts(self._verdict_key)
+                with self.telemetry.span(
+                    "cache.probe", routine=source.name, kind="verdicts"
+                ):
+                    self._disk_verdicts = self.disk_cache.load_verdicts(
+                        self._verdict_key
+                    )
                 self._verdicts_loaded = True
             token = applied_key_token(source.name, score.applied_key)
             if token in self._disk_verdicts:
                 ok = self._disk_verdicts[token]
                 self._verify_cache[cache_key] = ok
+                self.telemetry.incr("verify.verdict_reuse")
                 return ok
-        cfg = dict(self.VERIFY_CONFIG)
-        translator = EpodTranslator(cfg)
-        try:
-            small = translator.translate(source, score.script.script, mode="filter")
-        except Exception:
-            small = None
-        if small is None:
-            ok = False
-        elif small.applied_key == score.applied_key:
-            ok = check_equivalence(small.comp, source, cfg).ok
-        else:
-            # The sequence degenerates differently at this tile size:
-            # verify the actual kernel (slower path).
-            ok = check_equivalence(score.comp, source, score.config).ok
+        with self.telemetry.span("verify.check", routine=source.name) as sp:
+            cfg = dict(self.VERIFY_CONFIG)
+            translator = EpodTranslator(cfg, metrics=self.telemetry.metrics)
+            try:
+                small = translator.translate(source, score.script.script, mode="filter")
+            except Exception:
+                small = None
+            if small is None:
+                ok = False
+            elif small.applied_key == score.applied_key:
+                ok = check_equivalence(small.comp, source, cfg).ok
+            else:
+                # The sequence degenerates differently at this tile size:
+                # verify the actual kernel (slower path).
+                ok = check_equivalence(score.comp, source, score.config).ok
+            sp.tags["ok"] = ok
+        self.telemetry.incr("verify.pass" if ok else "verify.fail")
         self._verify_cache[cache_key] = ok
         if token is not None:
             self._disk_verdicts[token] = ok

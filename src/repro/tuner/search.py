@@ -24,7 +24,9 @@ preserves the single-threaded code path unchanged.
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +36,7 @@ from ..epod.translator import EpodTranslator
 from ..gpu.arch import GPUArch
 from ..gpu.simulator import RunResult, SimulatedGPU
 from ..ir.ast import Computation
+from ..telemetry import Metrics, Telemetry, ensure_telemetry
 from .space import Config, DEFAULT_SPACE, prune_space
 
 __all__ = [
@@ -102,6 +105,29 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+#: Exceptions that mean "the *pool* is broken", not "the caller wrote a
+#: bug": missing/limited OS support (OSError, ImportError), state that
+#: cannot cross the process boundary (PicklingError) or a worker killed
+#: under us (BrokenProcessPool).
+_POOL_FAILURES = (OSError, ImportError, pickle.PicklingError, BrokenProcessPool)
+
+
+def _is_pool_failure(exc: BaseException) -> bool:
+    """Whether ``exc`` warrants the sequential fallback (vs re-raising).
+
+    CPython reports some unpicklable objects as ``TypeError``/
+    ``AttributeError`` ("cannot pickle ...", "Can't pickle local
+    object ...") rather than ``PicklingError``, so those are inspected
+    by message; every other ``TypeError`` is a genuine programming
+    error and propagates.
+    """
+    if isinstance(exc, _POOL_FAILURES):
+        return True
+    if isinstance(exc, (TypeError, AttributeError)) and "pickle" in str(exc).lower():
+        return True
+    return False
+
+
 def _evaluate_unit(
     gpu: SimulatedGPU,
     source: Computation,
@@ -109,22 +135,30 @@ def _evaluate_unit(
     config: Config,
     sizes: Dict[str, int],
     nominal: float,
+    metrics: Optional[Metrics] = None,
 ) -> CandidateScore:
     """Score one (script, config) pair — the search's unit of work.
 
     Module-level so both the sequential path and the pool workers run
-    the identical code.
+    the identical code.  ``metrics`` (a worker-local or the parent's
+    registry) counts units, translate/profile errors, infeasible
+    configs and omitted components.
     """
-    translator = EpodTranslator(dict(config))
+    metrics = metrics if metrics is not None else Metrics()
+    metrics.incr("search.units")
+    translator = EpodTranslator(dict(config), metrics=metrics)
     try:
         result = translator.translate(source, candidate.script, mode="filter")
     except Exception as exc:
+        metrics.incr("search.translate_errors")
         return CandidateScore(candidate, config, 0.0, error=f"translate: {exc}")
     try:
         run = gpu.profile(result.comp, sizes, nominal_flops=nominal)
     except Exception as exc:
+        metrics.incr("search.profile_errors")
         return CandidateScore(candidate, config, 0.0, error=f"profile: {exc}")
     if not run.feasible:
+        metrics.incr("search.infeasible")
         return CandidateScore(candidate, config, 0.0, error="infeasible occupancy")
     return CandidateScore(
         candidate,
@@ -159,6 +193,7 @@ def _worker_init(
 
 def _worker_eval(unit: Tuple[int, int]):
     ci, ki = unit
+    metrics = Metrics()
     score = _evaluate_unit(
         _WORKER["gpu"],
         _WORKER["source"],
@@ -166,10 +201,21 @@ def _worker_eval(unit: Tuple[int, int]):
         _WORKER["space"][ki],
         _WORKER["sizes"],
         _WORKER["nominal"],
+        metrics=metrics,
     )
     # The parent reattaches its own candidate/config objects by index, so
-    # only the evaluation outcome crosses the process boundary.
-    return ci, ki, score.gflops, score.error, score.applied_key, score.run, score.comp
+    # only the evaluation outcome (plus this unit's counter snapshot)
+    # crosses the process boundary.
+    return (
+        ci,
+        ki,
+        score.gflops,
+        score.error,
+        score.applied_key,
+        score.run,
+        score.comp,
+        metrics.snapshot(),
+    )
 
 
 class VariantSearch:
@@ -182,6 +228,7 @@ class VariantSearch:
         space: Optional[Sequence[Config]] = None,
         full_space: bool = False,
         jobs: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.arch = arch
         self.tune_size = tune_size
@@ -193,6 +240,10 @@ class VariantSearch:
             self.space = prune_space(arch, CURATED_SPACE)
         self.gpu = SimulatedGPU(arch)
         self.jobs = resolve_jobs(jobs)
+        self.telemetry = ensure_telemetry(telemetry)
+        #: ``"Type: message"`` of the last pool failure that forced the
+        #: sequential fallback (``None`` while the pool behaves).
+        self.last_pool_error: Optional[str] = None
 
     def search(
         self,
@@ -213,29 +264,46 @@ class VariantSearch:
 
         candidates = list(candidates)
         n_units = len(candidates) * len(self.space)
-        if jobs > 1 and n_units > 1:
-            scored = self._search_parallel(
-                source, candidates, sizes, nominal, min(jobs, n_units)
-            )
-        else:
-            scored = (
-                _evaluate_unit(self.gpu, source, candidate, config, sizes, nominal)
-                for candidate in candidates
-                for config in self.space
-            )
+        with self.telemetry.span(
+            "search",
+            routine=routine_name,
+            candidates=len(candidates),
+            configs=len(self.space),
+            units=n_units,
+            jobs=jobs,
+        ) as sp:
+            if jobs > 1 and n_units > 1:
+                scored = self._search_parallel(
+                    source, candidates, sizes, nominal, min(jobs, n_units)
+                )
+            else:
+                scored = (
+                    _evaluate_unit(
+                        self.gpu,
+                        source,
+                        candidate,
+                        config,
+                        sizes,
+                        nominal,
+                        metrics=self.telemetry.metrics,
+                    )
+                    for candidate in candidates
+                    for config in self.space
+                )
 
-        scores: List[CandidateScore] = []
-        best: Optional[CandidateScore] = None
-        for score in scored:
-            if keep_all or score.ok:
-                scores.append(score)
-            if score.ok and (best is None or score.gflops > best.gflops):
-                best = score
-        if best is None:
-            raise RuntimeError(
-                f"no feasible (script, config) for {routine_name} on {self.arch.name}"
-            )
-        return SearchResult(routine_name, self.arch, best, scores)
+            scores: List[CandidateScore] = []
+            best: Optional[CandidateScore] = None
+            for score in scored:
+                if keep_all or score.ok:
+                    scores.append(score)
+                if score.ok and (best is None or score.gflops > best.gflops):
+                    best = score
+            if best is None:
+                raise RuntimeError(
+                    f"no feasible (script, config) for {routine_name} on {self.arch.name}"
+                )
+            sp.tags["best_gflops"] = best.gflops
+            return SearchResult(routine_name, self.arch, best, scores)
 
     def _search_parallel(
         self,
@@ -250,9 +318,13 @@ class VariantSearch:
         Results come back in submission order — the same nested
         (candidate outer, config inner) order the sequential loop walks —
         so the reduction in :meth:`search` picks an identical winner.
-        Any pool-level failure (a platform without working
-        multiprocessing, unpicklable state) falls back to the sequential
-        path rather than aborting the search.
+        A genuine *pool* failure (a platform without working
+        multiprocessing, unpicklable state, a killed worker) falls back
+        to the sequential path; the cause is kept in
+        :attr:`last_pool_error`, counted as ``search.pool_fallbacks``
+        and tagged on the open search span.  Programming errors
+        (``TypeError`` from bad arguments, assertion failures, ...)
+        propagate — masking them behind a silent re-run hid real bugs.
         """
         units = [
             (ci, ki)
@@ -267,24 +339,42 @@ class VariantSearch:
                 initargs=(self.arch, source, candidates, self.space, sizes, nominal),
             ) as pool:
                 raw = list(pool.map(_worker_eval, units, chunksize=chunksize))
-        except Exception:
+        except Exception as exc:
+            if not _is_pool_failure(exc):
+                raise
+            self.last_pool_error = f"{type(exc).__name__}: {exc}"
+            self.telemetry.incr("search.pool_fallbacks")
+            span = self.telemetry.tracer.current()
+            if span is not None:
+                span.tags["pool_fallback"] = self.last_pool_error
             return [
-                _evaluate_unit(self.gpu, source, candidate, config, sizes, nominal)
+                _evaluate_unit(
+                    self.gpu,
+                    source,
+                    candidate,
+                    config,
+                    sizes,
+                    nominal,
+                    metrics=self.telemetry.metrics,
+                )
                 for candidate in candidates
                 for config in self.space
             ]
-        return [
-            CandidateScore(
-                candidates[ci],
-                self.space[ki],
-                gflops,
-                run=run,
-                comp=comp,
-                applied_key=applied_key,
-                error=error,
+        scores = []
+        for ci, ki, gflops, error, applied_key, run, comp, counters in raw:
+            self.telemetry.merge_counters(counters)
+            scores.append(
+                CandidateScore(
+                    candidates[ci],
+                    self.space[ki],
+                    gflops,
+                    run=run,
+                    comp=comp,
+                    applied_key=applied_key,
+                    error=error,
+                )
             )
-            for ci, ki, gflops, error, applied_key, run, comp in raw
-        ]
+        return scores
 
     def _evaluate(
         self,

@@ -1,0 +1,46 @@
+"""Per-stage aggregation and the stats table (telemetry/report.py)."""
+
+from repro.telemetry import Telemetry, aggregate_stages, stage_table
+
+
+def make_document():
+    t = Telemetry()
+    with t.span("generate", routine="GEMM-NN"):
+        with t.span("compose"):
+            pass
+        with t.span("search", units=4):
+            pass
+    with t.span("generate", routine="SYMM-LL"):
+        with t.span("compose"):
+            pass
+    t.incr("cache.routine.miss", 2)
+    return t.document()
+
+
+class TestAggregateStages:
+    def test_counts_and_totals_per_stage(self):
+        stages = aggregate_stages(make_document())
+        assert stages["generate"]["count"] == 2
+        assert stages["compose"]["count"] == 2
+        assert stages["search"]["count"] == 1
+        assert stages["generate"]["total_s"] >= stages["compose"]["total_s"]
+
+    def test_pipeline_order_preserved(self):
+        names = list(aggregate_stages(make_document()))
+        assert names.index("compose") < names.index("search")
+
+    def test_empty_document(self):
+        assert aggregate_stages({"spans": []}) == {}
+
+
+class TestStageTable:
+    def test_renders_stages_and_counters(self):
+        text = stage_table(make_document())
+        assert "pipeline stages" in text
+        assert "generate" in text and "search" in text
+        assert "counters" in text
+        assert "cache.routine.miss" in text and "2" in text
+
+    def test_counterless_document_renders(self):
+        text = stage_table({"spans": [], "counters": {}})
+        assert "pipeline stages" in text

@@ -1,0 +1,107 @@
+"""Span nesting and trace-document round-trips (telemetry/trace.py)."""
+
+import json
+
+import pytest
+
+from repro.telemetry import Span, Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock: advances 1s per reading."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+class TestSpanNesting:
+    def test_lexical_nesting_builds_the_tree(self):
+        tracer = Tracer()
+        with tracer.span("generate", routine="GEMM-NN"):
+            with tracer.span("compose"):
+                pass
+            with tracer.span("search"):
+                with tracer.span("unit"):
+                    pass
+        assert [r.name for r in tracer.roots] == ["generate"]
+        gen = tracer.roots[0]
+        assert [c.name for c in gen.children] == ["compose", "search"]
+        assert [c.name for c in gen.children[1].children] == ["unit"]
+
+    def test_siblings_after_close_are_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_current_tracks_the_open_span(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer"):
+            assert tracer.current().name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current().name == "inner"
+            assert tracer.current().name == "outer"
+        assert tracer.current() is None
+
+    def test_durations_nest_monotonically(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.roots[0], tracer.roots[0].children[0]
+        assert outer.duration_s >= inner.duration_s > 0
+        assert inner.start_s >= outer.start_s
+
+    def test_exception_tags_outcome_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("search"):
+                raise RuntimeError("boom")
+        sp = tracer.roots[0]
+        assert sp.tags["outcome"] == "error"
+        assert sp.duration_s >= 0  # still closed
+
+    def test_tags_mutable_inside_the_block(self):
+        tracer = Tracer()
+        with tracer.span("search", jobs=2) as sp:
+            sp.tags["best_gflops"] = 123.0
+        assert tracer.roots[0].tags == {"jobs": 2, "best_gflops": 123.0}
+
+
+class TestFindWalk:
+    def test_find_descends_the_whole_forest(self):
+        tracer = Tracer()
+        with tracer.span("generate"):
+            with tracer.span("cache.probe"):
+                pass
+            with tracer.span("search"):
+                pass
+        with tracer.span("generate"):
+            with tracer.span("cache.probe"):
+                pass
+        assert len(tracer.find("generate")) == 2
+        assert len(tracer.find("cache.probe")) == 2
+        assert tracer.find("nope") == []
+
+
+class TestDocumentRoundTrip:
+    def test_to_from_dict_via_json(self):
+        tracer = Tracer()
+        with tracer.span("generate", routine="SYMM-LL"):
+            with tracer.span("compose") as sp:
+                sp.tags["candidates"] = 3
+        doc = json.loads(json.dumps(tracer.roots[0].to_dict()))
+        back = Span.from_dict(doc)
+        assert back.name == "generate"
+        assert back.tags == {"routine": "SYMM-LL"}
+        assert back.children[0].tags == {"candidates": 3}
+        assert back.children[0].duration_s == pytest.approx(
+            tracer.roots[0].children[0].duration_s
+        )

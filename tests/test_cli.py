@@ -91,6 +91,73 @@ class TestCli:
         assert load_library(out).names() == ["GEMM-NN"]
 
 
+class TestTraceCli:
+    def test_generate_writes_trace_json(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "generate",
+                    "GEMM-NN",
+                    "--jobs",
+                    "1",
+                    "--no-cache",
+                    "-n",
+                    "1024",
+                    "--trace-json",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert str(trace) in err  # stderr notes where the trace went
+        doc = json.loads(trace.read_text())
+        assert doc["format"] == 1
+        names = [s["name"] for s in doc["spans"]]
+        assert "generate" in names
+        assert doc["counters"]["search.units"] > 0
+
+    def test_stats_renders_stage_table(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        main(
+            [
+                "generate",
+                "GEMM-NN",
+                "--jobs",
+                "1",
+                "--no-cache",
+                "-n",
+                "1024",
+                "--trace-json",
+                str(trace),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline stages" in out
+        assert "search" in out and "verify" in out
+        assert "search.units" in out  # counter glossary section
+
+    def test_stats_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 1
+        assert "nope.json" in capsys.readouterr().err
+
+    def test_stats_bad_json_fails_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["stats", str(bad)]) == 1
+        assert capsys.readouterr().err
+
+    def test_no_trace_flag_writes_nothing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["generate", "GEMM-NN", "--no-cache", "-n", "512"]) == 0
+        assert not list(tmp_path.glob("*.json"))
+
+
 class TestCompareRatios:
     """Regression: compare divided by a 0-GFLOPS baseline and labeled
     faster baselines as "slower"."""

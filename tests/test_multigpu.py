@@ -47,10 +47,23 @@ class TestFunctional:
             got, reference("GEMM-NN", inputs, alpha=2.0, beta=-0.5), rtol=4e-3, atol=4e-3
         )
 
-    def test_indivisible_split_rejected(self, lib2):
+    def test_uneven_split_matches_reference(self, lib2):
+        # Regression: run() used to raise on a split-dimension length not
+        # divisible by the device count while timing() silently modeled
+        # it — both now agree on ceil-sized panels.
         inputs = random_inputs("GEMM-NN", {"M": 32, "N": 31, "K": 16}, seed=24)
-        with pytest.raises(ValueError):
-            lib2.run("GEMM-NN", inputs)
+        got = lib2.run("GEMM-NN", inputs)
+        np.testing.assert_allclose(
+            got, reference("GEMM-NN", inputs), rtol=4e-3, atol=4e-3
+        )
+
+    def test_more_devices_than_columns(self, gen):
+        lib = MultiGPULibrary(GTX_285, num_devices=8, generator=gen)
+        inputs = random_inputs("GEMM-NN", {"M": 32, "N": 4, "K": 16}, seed=26)
+        got = lib.run("GEMM-NN", inputs)
+        np.testing.assert_allclose(
+            got, reference("GEMM-NN", inputs), rtol=4e-3, atol=4e-3
+        )
 
     def test_single_device_degenerate(self, gen):
         lib1 = MultiGPULibrary(GTX_285, num_devices=1, generator=gen)
@@ -83,3 +96,39 @@ class TestScalingModel:
     def test_bad_device_count(self):
         with pytest.raises(ValueError):
             MultiGPULibrary(GTX_285, 0)
+
+    def test_uneven_timing_models_largest_panel(self, gen):
+        # Regression: the split dimension was floored, so an uneven split
+        # modeled less work than exists (513 columns on 2 devices timed a
+        # 256-wide panel) and over-reported GFLOPS.  Ceil division makes
+        # the modeled time strictly dominate the divisible neighbor's.
+        lib = MultiGPULibrary(GTX_285, 2, generator=gen)
+        uneven = lib.timing("GEMM-NN", 513)
+        even = lib.timing("GEMM-NN", 512)
+        assert max(uneven.per_device_s) > max(even.per_device_s)
+        assert uneven.time_s > even.time_s
+
+    def test_uneven_timing_panels_cover_all_work(self, gen):
+        lib = MultiGPULibrary(GTX_285, 4, generator=gen)
+        t = lib.timing("SYMM-LL", 514)  # 514 = 4*129 - 2: panels 129/129/129/127
+        assert len(t.per_device_s) == 4
+        # the last device's smaller panel cannot model more time
+        assert t.per_device_s[-1] <= t.per_device_s[0]
+
+    def test_broadcast_bytes_follow_dtype(self, gen):
+        # Regression: the broadcast element size was a hard-coded 4.0
+        # instead of the spec dtype's itemsize.
+        from repro.blas3.routines import get_spec
+
+        lib = MultiGPULibrary(GTX_285, 2, generator=gen)
+        spec = get_spec("GEMM-NN")
+        arr = next(a for a in spec.arrays if a.name == "A")
+        itemsize = np.dtype(arr.dtype).itemsize
+        sizes = spec.make_sizes(512)
+        elems = 1
+        for d in arr.dims:
+            elems *= d.evaluate(sizes)
+        from repro.multigpu import PCIE_BANDWIDTH_GBS
+
+        want = elems * itemsize / (PCIE_BANDWIDTH_GBS * 1e9)
+        assert lib.timing("GEMM-NN", 512).broadcast_s == pytest.approx(want)

@@ -1,6 +1,7 @@
 """Tests for the persistent on-disk tuning cache (tuner/cache.py)."""
 
 import json
+import multiprocessing
 
 import numpy as np
 import pytest
@@ -159,3 +160,63 @@ class TestCachePrimitives:
         assert gen.disk_cache is None
         gen.generate("GEMM-NN")
         assert list(tmp_path.iterdir()) == []
+
+
+def _hammer_verdicts(cache_dir, key, worker_id, rounds):
+    """Store this worker's disjoint verdict set ``rounds`` times."""
+    cache = TuningCache(cache_dir)
+    for r in range(rounds):
+        cache.store_verdicts(
+            key, {f"w{worker_id}-r{r}": (r % 2 == 0)}
+        )
+
+
+class TestConcurrentVerdicts:
+    """Regression: the verdict read-merge-write cycle used to be unlocked,
+    so two concurrent writers could both read the same base document and
+    the slower one would clobber the faster one's verdicts.  Under the
+    exclusive lock every store lands and the file converges to the union.
+    """
+
+    def test_two_processes_converge_to_the_union(self, tmp_path):
+        key, rounds, n_workers = "deadbeefcafe", 25, 2
+        procs = [
+            multiprocessing.Process(
+                target=_hammer_verdicts, args=(tmp_path, key, w, rounds)
+            )
+            for w in range(n_workers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+
+        final = TuningCache(tmp_path).load_verdicts(key)
+        want = {
+            f"w{w}-r{r}": (r % 2 == 0)
+            for w in range(n_workers)
+            for r in range(rounds)
+        }
+        assert final == want  # nothing lost, nothing flipped
+
+    def test_single_process_merge_is_additive(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        cache.store_verdicts("k1", {"a": True})
+        cache.store_verdicts("k1", {"b": False})
+        cache.store_verdicts("k1", {"a": True, "c": True})
+        assert cache.load_verdicts("k1") == {"a": True, "b": False, "c": True}
+
+    def test_lock_degrades_in_readonly_dir(self, tmp_path):
+        # chmod can't stop root, so only the no-raise degradation is
+        # portable here; the no-caching outcome is covered by
+        # TestCachePrimitives.test_readonly_dir_degrades_gracefully.
+        ro = tmp_path / "ro"
+        ro.mkdir()
+        ro.chmod(0o500)
+        try:
+            cache = TuningCache(ro)
+            cache.store_verdicts("k1", {"a": True})  # must not raise
+            assert isinstance(cache.load_verdicts("k1"), dict)
+        finally:
+            ro.chmod(0o700)

@@ -1,0 +1,133 @@
+"""Regression: pool failures must be *recorded*, programming errors raised.
+
+The old ``_search_parallel`` wrapped the whole pool in a bare
+``except Exception`` and silently re-ran sequentially — a broken pool
+was invisible (no counter, no message) and a genuine bug in the search
+arguments was masked behind a slow fallback.  Now:
+
+* infrastructure failures (``OSError``, ``BrokenProcessPool``,
+  pickling trouble) fall back, keep the cause in ``last_pool_error``
+  and increment ``search.pool_fallbacks``;
+* everything else (``TypeError`` from bad args, assertion failures)
+  propagates.
+"""
+
+import pickle
+
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+import repro.tuner.search as search_mod
+from repro.blas3.routines import build_routine
+from repro.gpu import GTX_285
+from repro.telemetry import Telemetry
+from repro.tuner import LibraryGenerator, VariantSearch
+from repro.tuner.search import _is_pool_failure
+
+SMALL_SPACE = [
+    {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
+    {"BM": 32, "BN": 16, "KT": 8, "TX": 16, "TY": 2},
+]
+
+
+@pytest.fixture(scope="module")
+def composed():
+    gen = LibraryGenerator(GTX_285, space=SMALL_SPACE, jobs=1)
+    return build_routine("GEMM-NN"), gen.candidates("GEMM-NN")
+
+
+class _ExplodingPool:
+    """Stands in for ProcessPoolExecutor; raises on construction."""
+
+    def __init__(self, exc):
+        self.exc = exc
+
+    def __call__(self, *args, **kwargs):
+        raise self.exc
+
+
+class TestPoolFallback:
+    def test_pool_failure_falls_back_and_is_recorded(self, composed, monkeypatch):
+        source, candidates = composed
+        telemetry = Telemetry()
+        searcher = VariantSearch(
+            GTX_285, space=SMALL_SPACE, jobs=2, telemetry=telemetry
+        )
+        monkeypatch.setattr(
+            search_mod,
+            "ProcessPoolExecutor",
+            _ExplodingPool(OSError("no forking on this platform")),
+        )
+        result = searcher.search("GEMM-NN", source, candidates)
+
+        # the fallback still produced the right answer ...
+        seq = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=1).search(
+            "GEMM-NN", source, candidates
+        )
+        assert result.best.config == seq.best.config
+        assert result.best.gflops == seq.best.gflops
+        # ... and the failure is observable, not swallowed
+        assert searcher.last_pool_error == "OSError: no forking on this platform"
+        assert telemetry.count("search.pool_fallbacks") == 1
+        spans = telemetry.find("search")
+        assert spans and "pool_fallback" in spans[0].tags
+
+    def test_broken_pool_falls_back(self, composed, monkeypatch):
+        source, candidates = composed
+        telemetry = Telemetry()
+        searcher = VariantSearch(
+            GTX_285, space=SMALL_SPACE, jobs=2, telemetry=telemetry
+        )
+        monkeypatch.setattr(
+            search_mod,
+            "ProcessPoolExecutor",
+            _ExplodingPool(BrokenProcessPool("worker died")),
+        )
+        result = searcher.search("GEMM-NN", source, candidates)
+        assert result.best.gflops > 0
+        assert "BrokenProcessPool" in searcher.last_pool_error
+        assert telemetry.count("search.pool_fallbacks") == 1
+
+    def test_programming_error_propagates(self, composed, monkeypatch):
+        source, candidates = composed
+        searcher = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=2)
+        monkeypatch.setattr(
+            search_mod,
+            "ProcessPoolExecutor",
+            _ExplodingPool(TypeError("search() got an unexpected keyword")),
+        )
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            searcher.search("GEMM-NN", source, candidates)
+        assert searcher.last_pool_error is None
+
+    def test_healthy_pool_records_nothing(self, composed):
+        source, candidates = composed
+        telemetry = Telemetry()
+        searcher = VariantSearch(
+            GTX_285, space=SMALL_SPACE, jobs=2, telemetry=telemetry
+        )
+        searcher.search("GEMM-NN", source, candidates)
+        assert searcher.last_pool_error is None
+        assert telemetry.count("search.pool_fallbacks") == 0
+
+
+class TestPoolFailureClassifier:
+    def test_infrastructure_exceptions(self):
+        assert _is_pool_failure(OSError("fork failed"))
+        assert _is_pool_failure(ImportError("no _multiprocessing"))
+        assert _is_pool_failure(pickle.PicklingError("cannot pickle"))
+        assert _is_pool_failure(BrokenProcessPool("terminated abruptly"))
+
+    def test_cpython_pickle_reports_by_message(self):
+        # CPython raises these types, not PicklingError, for some objects
+        assert _is_pool_failure(TypeError("cannot pickle '_thread.lock' object"))
+        assert _is_pool_failure(
+            AttributeError("Can't pickle local object 'f.<locals>.g'")
+        )
+
+    def test_ordinary_errors_are_not_pool_failures(self):
+        assert not _is_pool_failure(TypeError("unsupported operand type"))
+        assert not _is_pool_failure(AttributeError("no attribute 'foo'"))
+        assert not _is_pool_failure(ValueError("bad value"))
+        assert not _is_pool_failure(KeyError("missing"))
+        assert not _is_pool_failure(RuntimeError("boom"))
