@@ -12,7 +12,7 @@ import pytest
 
 from repro.blas3 import build_routine
 from repro.reporting import ascii_table, generator_for
-from repro.tuner import VariantSearch
+from repro.tuner import TuningOptions, VariantSearch
 
 from .conftest import emit
 
@@ -27,7 +27,7 @@ def comparison(gtx285):
         ("curated", {}),
         ("full", {"full_space": True}),
     ):
-        search = VariantSearch(gtx285, **kwargs)
+        search = VariantSearch(gtx285, options=TuningOptions(**kwargs))
         t0 = time.perf_counter()
         result = search.search("GEMM-NN", source, candidates)
         out[label] = {

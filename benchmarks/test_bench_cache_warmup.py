@@ -10,7 +10,7 @@ times and the achieved speedup for a representative routine per family.
 import time
 
 from repro.gpu import GTX_285
-from repro.tuner import LibraryGenerator
+from repro.tuner import LibraryGenerator, TuningOptions
 
 from .conftest import emit
 
@@ -18,7 +18,7 @@ ROUTINES = ["GEMM-NN", "SYMM-LL", "TRMM-LL-N", "TRSM-LL-N"]
 
 
 def _timed_generate(cache_dir, routine):
-    gen = LibraryGenerator(GTX_285, cache_dir=cache_dir)
+    gen = LibraryGenerator(GTX_285, options=TuningOptions(cache_dir=cache_dir))
     t0 = time.perf_counter()
     tuned = gen.generate(routine)
     return time.perf_counter() - t0, tuned, gen

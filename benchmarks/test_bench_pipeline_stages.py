@@ -13,7 +13,7 @@ from pathlib import Path
 
 from repro.gpu import GTX_285
 from repro.telemetry import Telemetry, aggregate_stages
-from repro.tuner import LibraryGenerator
+from repro.tuner import LibraryGenerator, TuningOptions
 
 from .conftest import emit
 
@@ -24,7 +24,9 @@ BENCH_PATH = Path(__file__).parents[1] / "BENCH_pipeline.json"
 
 def _traced_generate(cache_dir, routine):
     telemetry = Telemetry()
-    gen = LibraryGenerator(GTX_285, cache_dir=cache_dir, telemetry=telemetry)
+    gen = LibraryGenerator(
+        GTX_285, options=TuningOptions(cache_dir=cache_dir), telemetry=telemetry
+    )
     t0 = time.perf_counter()
     gen.generate(routine)
     wall_s = time.perf_counter() - t0

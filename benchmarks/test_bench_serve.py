@@ -1,0 +1,155 @@
+"""Benchmark: serving-runtime dispatch latency and batching behaviour.
+
+The serving layer's claim is that answering a request from a hot plan is
+a dispatch-table probe plus one kernel execution — while the first
+request at a size pays the whole compose → search → verify pipeline.
+This benchmark records three latencies per routine into
+``BENCH_serve.json``:
+
+* ``cold_first_request_s`` — first request at a size (tunes the plan);
+* ``hot_request_s`` — later requests (table probe + execution);
+* ``hot_dispatch_s`` — the probe alone (``warm()`` on a hot plan), the
+  runtime's own overhead with the simulated-GPU execution factored out;
+
+plus the warm-process path (plan rebuilt from the PR 2 disk cache) and
+the launch-coalescing effect of micro-batching.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.blas3 import random_inputs
+from repro.gpu import GTX_285
+from repro.serve import BlasService, ServeOptions
+from repro.telemetry import Telemetry
+from repro.tuner import TuningOptions
+
+from .conftest import emit
+
+ROUTINES = ["GEMM-NN", "SYMM-LL", "TRMM-LL-N", "TRSM-LL-N"]
+N = 16  # small: the interpreter's O(N^3) execution would swamp dispatch
+HOT_REPEATS = 5
+PROBE_REPEATS = 100
+
+BENCH_PATH = Path(__file__).parents[1] / "BENCH_serve.json"
+
+
+def _service(cache_dir, **serve_kwargs):
+    return BlasService(
+        GTX_285,
+        options=ServeOptions(**serve_kwargs),
+        tuning=TuningOptions(cache_dir=cache_dir),
+        telemetry=Telemetry(),
+    )
+
+
+def _inputs(routine, seed=0):
+    sizes = {"M": N, "N": N, "K": N} if "GEMM" in routine else {"M": N, "N": N}
+    return random_inputs(routine, sizes, seed=seed)
+
+
+def _timed_run(service, routine, inputs):
+    t0 = time.perf_counter()
+    service.run(routine, **inputs)
+    return time.perf_counter() - t0
+
+
+def test_bench_serve_dispatch(tmp_path):
+    record = {"arch": "GTX 285", "n": N, "routines": {}}
+    lines = []
+    cold_service = _service(tmp_path)
+    for routine in ROUTINES:
+        inputs = _inputs(routine)
+
+        # cold: the first request at this size tunes the plan
+        cold_s = _timed_run(cold_service, routine, inputs)
+        # hot: every later request is a table probe + one execution
+        hot = [_timed_run(cold_service, routine, inputs) for _ in range(HOT_REPEATS)]
+        hot_s = statistics.mean(hot)
+        # the probe alone: dispatch overhead without the execution
+        t0 = time.perf_counter()
+        for _ in range(PROBE_REPEATS):
+            cold_service.warm(routine, N)
+        probe_s = (time.perf_counter() - t0) / PROBE_REPEATS
+
+        record["routines"][routine] = {
+            "cold_first_request_s": cold_s,
+            "hot_request_s": hot_s,
+            "hot_dispatch_s": probe_s,
+            "hot_request_speedup": cold_s / hot_s,
+            "hot_dispatch_speedup": cold_s / probe_s,
+        }
+        lines.append(
+            f"{routine:10s} cold {cold_s * 1e3:8.1f} ms   "
+            f"hot {hot_s * 1e3:6.1f} ms ({cold_s / hot_s:6.1f}x)   "
+            f"dispatch {probe_s * 1e6:6.1f} us ({cold_s / probe_s:9.0f}x)"
+        )
+        # the acceptance bar: hot dispatch >= 10x faster than cold generate
+        assert cold_s / probe_s >= 10.0
+        assert cold_s > hot_s
+
+    counters = cold_service.telemetry.metrics.snapshot()
+    assert counters["serve.tuned"] == len(ROUTINES)
+    assert counters["serve.plan.hit"] >= len(ROUTINES) * (HOT_REPEATS + PROBE_REPEATS)
+
+    # warm process: a fresh service rebuilds plans from the disk cache
+    warm_service = _service(tmp_path)
+    for routine in ROUTINES:
+        warm_s = _timed_run(warm_service, routine, _inputs(routine))
+        cold_s = record["routines"][routine]["cold_first_request_s"]
+        record["routines"][routine]["warm_process_first_request_s"] = warm_s
+        assert warm_s < cold_s  # cache rebuild, not a re-search
+    assert warm_service.telemetry.count("cache.routine.hit") == len(ROUTINES)
+    assert warm_service.telemetry.metrics.snapshot().get("search.units", 0) == 0
+
+    record["counters"] = counters
+    BENCH_PATH.write_text(json.dumps(record, indent=1))
+    emit(
+        f"serving dispatch, GTX 285, N={N}\n"
+        + "\n".join(lines)
+        + f"\nwritten to {BENCH_PATH}"
+    )
+
+
+def test_bench_serve_batching(tmp_path):
+    """Micro-batching coalesces same-shape requests into fewer launches."""
+    requests = 16
+    inputs = _inputs("GEMM-NN", seed=1)
+
+    results = {}
+    for max_batch in (1, 8):
+        service = _service(tmp_path, max_batch=max_batch)
+        service.warm("GEMM-NN", N)
+        t0 = time.perf_counter()
+        pendings = [service.submit("GEMM-NN", **inputs) for _ in range(requests)]
+        launches = service.flush()
+        wall_s = time.perf_counter() - t0
+        assert all(p.result().ok for p in pendings)
+        counters = service.telemetry.metrics.snapshot()
+        results[max_batch] = {
+            "launches": launches,
+            "wall_s": wall_s,
+            "coalesced": counters.get("serve.coalesced", 0),
+            "requests_per_s": requests / wall_s,
+        }
+
+    assert results[1]["launches"] == requests
+    assert results[8]["launches"] == requests // 8
+    assert results[8]["coalesced"] == requests - results[8]["launches"]
+
+    record = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    record["batching"] = {
+        "requests": requests,
+        "by_max_batch": {str(k): v for k, v in results.items()},
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=1))
+    emit(
+        f"serving micro-batching, GEMM-NN, N={N}, {requests} requests\n"
+        + "\n".join(
+            f"max_batch={k}: {v['launches']:2d} launches, "
+            f"{v['wall_s'] * 1e3:7.1f} ms, {v['requests_per_s']:7.1f} req/s"
+            for k, v in results.items()
+        )
+    )

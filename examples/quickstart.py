@@ -25,7 +25,7 @@ def main() -> None:
     routine = oa.generate("SYMM-LL")
 
     print("\nwinning EPOD script (cf. paper Fig. 14, SYMM-LN):")
-    print(routine.script.script.render())
+    print(routine.render_script())
     print(f"\ntuned parameters: {routine.config}")
     print(f"modeled performance @ N=4096: {routine.tuned_gflops:.0f} GFLOPS")
 
@@ -34,7 +34,7 @@ def main() -> None:
     n = max(routine.config["BM"], routine.config["BN"])
     sizes = routine.spec.make_sizes(n)
     inputs = random_inputs("SYMM-LL", sizes, seed=0)
-    result = routine.run(inputs, alpha=1.5, beta=0.5)
+    result = routine.run(alpha=1.5, beta=0.5, **inputs)
     expected = reference("SYMM-LL", inputs, alpha=1.5, beta=0.5)
     err = np.max(np.abs(result - expected))
     print(f"\nfunctional check @ N={n}: max |err| = {err:.2e}", end="")

@@ -55,9 +55,17 @@ from .gpu import (
     occupancy,
 )
 from .ir import Array, Computation, build_computation, interpret, validate, var
+from .multigpu import MultiGPULibrary, MultiGPUTiming
 from .oa import OAFramework
+from .serve import BlasService, ServeOptions
 from .telemetry import Metrics, Span, Telemetry, Tracer
-from .tuner import GeneratedLibrary, LibraryGenerator, TunedRoutine, VariantSearch
+from .tuner import (
+    GeneratedLibrary,
+    LibraryGenerator,
+    TunedRoutine,
+    TuningOptions,
+    VariantSearch,
+)
 
 __version__ = "1.0.0"
 
@@ -71,6 +79,7 @@ __all__ = [
     "Array",
     "BASE_GEMM_SCRIPT",
     "BUILTIN_ADAPTORS",
+    "BlasService",
     "Composer",
     "Computation",
     "EpodScript",
@@ -81,13 +90,17 @@ __all__ = [
     "GeneratedLibrary",
     "LibraryGenerator",
     "Metrics",
+    "MultiGPULibrary",
+    "MultiGPUTiming",
     "OAFramework",
     "PLATFORMS",
+    "ServeOptions",
     "SimulatedGPU",
     "Span",
     "Telemetry",
     "Tracer",
     "TunedRoutine",
+    "TuningOptions",
     "VariantSearch",
     "build_computation",
     "build_routine",

@@ -26,7 +26,14 @@ from ..ir.builder import build_computation
 from ..ir.affine import var
 from .naming import ALL_VARIANTS, VariantName, parse_variant
 
-__all__ = ["RoutineSpec", "get_spec", "build_routine", "all_specs", "BASE_GEMM_SCRIPT"]
+__all__ = [
+    "RoutineSpec",
+    "get_spec",
+    "build_routine",
+    "all_specs",
+    "infer_sizes",
+    "BASE_GEMM_SCRIPT",
+]
 
 #: The GEMM-NN optimization scheme (paper Fig. 3) every variant reuses.
 BASE_GEMM_SCRIPT = """
@@ -83,6 +90,27 @@ class RoutineSpec:
         if "K" in self.dim_symbols:
             sizes["K"] = k or n
         return sizes
+
+
+def infer_sizes(spec: "RoutineSpec", inputs: Dict) -> Dict[str, int]:
+    """Dimension sizes implied by a call's array shapes.
+
+    Shared by :meth:`repro.tuner.library.TunedRoutine.run` and the
+    serving runtime's dispatch bucketing (which must size a request
+    before any tuned plan exists).
+    """
+    import numpy as np
+
+    b = np.asarray(inputs["B"])
+    if spec.variant.family == "GEMM":
+        a = np.asarray(inputs["A"])
+        ta = spec.variant.trans_a
+        tb = spec.variant.trans_b
+        m = a.shape[0] if ta == "N" else a.shape[1]
+        k = a.shape[1] if ta == "N" else a.shape[0]
+        n = b.shape[1] if tb == "N" else b.shape[0]
+        return {"M": m, "N": n, "K": k}
+    return {"M": b.shape[0], "N": b.shape[1]}
 
 
 def _c(m="M", n="N") -> Array:

@@ -19,6 +19,12 @@ Commands
 ``library``
     Tune every variant (all 24 by default) and save the resulting
     library as JSON (reloadable with ``repro.tuner.load_library``).
+``serve``
+    Run a synthetic request stream through the serving runtime
+    (:class:`repro.serve.BlasService`): dispatch with an LRU hot-plan
+    cache, micro-batching, optional per-request deadlines with baseline
+    fallback, multi-device backends.  Prints per-routine latency and the
+    service counters.
 ``stats TRACE``
     Print the per-stage wall-time table and counter registry of a trace
     document previously written with ``--trace-json``.
@@ -55,6 +61,7 @@ from .blas3.routines import get_spec
 from .gpu.arch import PLATFORMS
 from .oa import OAFramework
 from .reporting.format import ascii_table
+from .tuner.options import TuningOptions
 
 __all__ = ["main"]
 
@@ -99,22 +106,32 @@ def _add_tuning(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_oa(args) -> OAFramework:
+def _tuning_options(args) -> TuningOptions:
+    """Build the one TuningOptions the whole command threads downward."""
     cache_dir = None
     if not getattr(args, "no_cache", False):
         cache_dir = getattr(args, "cache_dir", None) or os.environ.get(
             "REPRO_CACHE_DIR"
         )
-    telemetry = None
+    return TuningOptions(
+        jobs=getattr(args, "jobs", None),
+        cache_dir=cache_dir,
+    )
+
+
+def _make_telemetry(args):
     if getattr(args, "trace_json", None):
         from .telemetry import Telemetry
 
-        telemetry = Telemetry()
+        return Telemetry()
+    return None
+
+
+def _make_oa(args) -> OAFramework:
     return OAFramework(
         PLATFORMS[args.arch],
-        jobs=getattr(args, "jobs", None),
-        cache_dir=cache_dir,
-        telemetry=telemetry,
+        telemetry=_make_telemetry(args),
+        options=_tuning_options(args),
     )
 
 
@@ -153,6 +170,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "stats", help="print per-stage stats from a --trace-json document"
     )
     p.add_argument("trace", help="path to a trace JSON written by --trace-json")
+
+    p = sub.add_parser(
+        "serve",
+        help="run a synthetic request stream through the serving runtime",
+    )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=32,
+        metavar="R",
+        help="number of calls to serve (default: 32)",
+    )
+    p.add_argument(
+        "--routines",
+        nargs="+",
+        default=["GEMM-NN", "SYMM-LL"],
+        metavar="NAME",
+        help="variants the stream cycles through (default: GEMM-NN SYMM-LL)",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="D",
+        help="per-request deadline budget in ms (default: none)",
+    )
+    p.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        metavar="K",
+        help="simulated devices behind the service (default: 1)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        metavar="B",
+        help="largest coalesced launch (default: 8)",
+    )
+    p.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        metavar="W",
+        help="micro-batch window in ms (default: 2)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    _add_common(p)
+    _add_tuning(p)
 
     p = sub.add_parser(
         "library", help="tune all variants and save the library as JSON"
@@ -202,7 +269,7 @@ def _cmd_generate(args) -> int:
     if tuned.conditions:
         conds = ", ".join(str(c) for c in tuned.conditions)
         print(f"// conditioned on {conds} (runtime check_blank_zero dispatch)")
-    print(tuned.script.script.render())
+    print(tuned.render_script())
     _finish_trace(oa, args)
     return 0
 
@@ -275,6 +342,87 @@ def _cmd_library(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from statistics import mean, quantiles
+
+    from .blas3.reference import random_inputs
+    from .serve import BlasService, ServeOptions
+    from .telemetry import Telemetry
+
+    # The stats footer always needs live counters, trace flag or not.
+    telemetry = Telemetry()
+    serve_options = ServeOptions(
+        max_batch=args.max_batch,
+        batch_window_s=args.window_ms / 1e3,
+        devices=args.devices,
+        default_deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+    )
+    routines = [get_spec(r).name for r in args.routines]
+    workload = {
+        r: random_inputs(r, get_spec(r).make_sizes(args.n), seed=args.seed)
+        for r in routines
+    }
+    latencies = {r: [] for r in routines}
+    sources = {r: {"tuned": 0, "fallback": 0} for r in routines}
+    with BlasService(
+        PLATFORMS[args.arch],
+        options=serve_options,
+        tuning=_tuning_options(args),
+        telemetry=telemetry,
+    ) as service:
+        pendings = []
+        for i in range(args.requests):
+            routine = routines[i % len(routines)]
+            pendings.append(
+                (routine, service.submit(routine, **workload[routine]))
+            )
+        for routine, pending in pendings:
+            response = pending.result()
+            latencies[routine].append(response.total_s)
+            sources[routine][response.source] += 1
+
+    rows = []
+    for routine in routines:
+        lat = sorted(latencies[routine])
+        p95 = quantiles(lat, n=20)[-1] if len(lat) >= 2 else lat[-1]
+        rows.append(
+            (
+                routine,
+                str(len(lat)),
+                str(sources[routine]["tuned"]),
+                str(sources[routine]["fallback"]),
+                f"{mean(lat) * 1e3:.1f}",
+                f"{p95 * 1e3:.1f}",
+            )
+        )
+    print(
+        ascii_table(
+            ["routine", "requests", "tuned", "fallback", "mean ms", "p95 ms"],
+            rows,
+            title=f"served {args.requests} requests on {PLATFORMS[args.arch].name}, "
+            f"N={args.n}, {args.devices} device(s)",
+        )
+    )
+    counters = telemetry.metrics.snapshot()
+    launches = counters.get("serve.launches", 0)
+    batched = counters.get("serve.batched_requests", 0)
+    print(
+        f"launches {launches}  "
+        f"mean batch {batched / launches if launches else 0:.2f}  "
+        f"plan hits {counters.get('serve.plan.hit', 0)}  "
+        f"misses {counters.get('serve.plan.miss', 0)}  "
+        f"fallbacks {counters.get('serve.fallbacks', 0)}  "
+        f"peak queue {counters.get('serve.queue.peak_depth', 0)}"
+    )
+    path = getattr(args, "trace_json", None)
+    if path and telemetry.enabled:
+        telemetry.write_json(path)
+        print(f"// trace written to {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_stats(args) -> int:
     import json
 
@@ -313,6 +461,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_candidates(args)
     if args.command == "library":
         return _cmd_library(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "stats":
         return _cmd_stats(args)
     return 1  # pragma: no cover

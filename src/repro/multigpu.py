@@ -25,6 +25,7 @@ broadcast of A dominates.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -190,16 +191,39 @@ class MultiGPULibrary:
     def run(
         self,
         name: str,
-        inputs: Mapping[str, np.ndarray],
+        inputs: Optional[Mapping[str, np.ndarray]] = None,
         alpha: float = 1.0,
         beta: float = 1.0,
+        **arrays: np.ndarray,
     ) -> np.ndarray:
         """Functional multi-device execution: split, run panels, stitch.
+
+        Unified convention (keyword arrays, explicit ``alpha``/``beta``)::
+
+            lib.run("GEMM-NN", A=a, B=b, C=c, alpha=2.0, beta=-0.5)
+
+        Passing a positional mapping of arrays (the pre-1.1 convention)
+        still works but emits a :class:`DeprecationWarning`.
 
         Divisibility matches :meth:`timing`: an uneven split runs
         ceil-sized panels on the first devices and the remainder on the
         last (the tuned kernel pads internally as needed).
         """
+        if inputs is not None:
+            if arrays:
+                raise TypeError(
+                    "MultiGPULibrary.run(): pass arrays either as a mapping "
+                    "or as keyword arguments, not both"
+                )
+            warnings.warn(
+                "MultiGPULibrary.run(name, {...}) with a positional array "
+                "mapping is deprecated; pass arrays as keyword arguments: "
+                "run(name, A=a, B=b, ...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            arrays = dict(inputs)
+        inputs = arrays
         spec = get_spec(name)
         tuned = self.routine(name)
         split = self._split_dim(name)
@@ -222,7 +246,7 @@ class MultiGPULibrary:
                     if self._is_split_array(spec, arr.name):
                         data = data[:, lo:hi] if split == "N" else data[lo:hi, :]
                     panel_inputs[arr.name] = np.ascontiguousarray(data)
-                panels.append(tuned.run(panel_inputs, alpha=alpha, beta=beta))
+                panels.append(tuned._execute(panel_inputs, alpha=alpha, beta=beta))
             axis = 1 if split == "N" else 0
             return np.concatenate(panels, axis=axis)
 

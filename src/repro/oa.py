@@ -11,15 +11,16 @@ One object wires the whole pipeline of the paper's Fig. 1 together:
 
 Typical use::
 
-    from repro import OAFramework, GTX_285
+    from repro import OAFramework, TuningOptions, GTX_285
 
-    oa = OAFramework(GTX_285)
+    oa = OAFramework(GTX_285, options=TuningOptions(tune_size=4096))
     symm = oa.generate("SYMM-LL")          # compose + search + verify
-    print(symm.script.render())             # the winning EPOD script
+    print(symm.render_script())             # the winning EPOD script
     print(symm.tuned_gflops)                # modeled GFLOPS at N=4096
 
     lib = oa.library(["GEMM-NN", "SYMM-LL"])
-    c = lib.run("SYMM-LL", A=a, B=b, C=c)   # functional, simulated GPU
+    # unified run() convention: keyword arrays, explicit alpha/beta
+    c = lib.run("SYMM-LL", A=a, B=b, C=c, alpha=1.0, beta=0.0)
 """
 
 from __future__ import annotations
@@ -38,6 +39,7 @@ from .gpu.arch import GPUArch, GTX_285
 from .gpu.simulator import SimulatedGPU
 from .telemetry import Telemetry, ensure_telemetry
 from .tuner.library import GeneratedLibrary, LibraryGenerator, TunedRoutine
+from .tuner.options import TuningOptions, _legacy_knobs, resolve_options
 from .tuner.space import Config
 
 __all__ = ["OAFramework"]
@@ -58,23 +60,30 @@ class OAFramework:
     def __init__(
         self,
         arch: GPUArch = GTX_285,
-        tune_size: int = 4096,
+        tune_size: Optional[int] = None,
         space: Optional[Sequence[Config]] = None,
         full_space: bool = False,
         jobs: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         telemetry: Optional[Telemetry] = None,
+        options: Optional[TuningOptions] = None,
     ):
+        options = resolve_options(
+            options,
+            owner="OAFramework",
+            **_legacy_knobs(
+                tune_size=tune_size,
+                space=space,
+                full_space=full_space,
+                jobs=jobs,
+                cache_dir=cache_dir,
+            ),
+        )
         self.arch = arch
+        self.options = options
         self.telemetry = ensure_telemetry(telemetry)
         self.generator = LibraryGenerator(
-            arch,
-            tune_size=tune_size,
-            space=space,
-            full_space=full_space,
-            jobs=jobs,
-            cache_dir=cache_dir,
-            telemetry=self.telemetry,
+            arch, telemetry=self.telemetry, options=options
         )
         self.gpu = SimulatedGPU(arch)
 
@@ -107,7 +116,7 @@ class OAFramework:
     # -- conveniences -------------------------------------------------------
     def best_script(self, routine: str) -> str:
         """Rendered best-performing EPOD script (paper Fig. 14)."""
-        return self.generate(routine).script.script.render()
+        return self.generate(routine).render_script()
 
     def gflops(self, routine: str, n: int = 4096) -> float:
         return self.generate(routine).gflops(n)

@@ -1,0 +1,25 @@
+"""The BLAS3 serving runtime: dispatch, micro-batching, fallback.
+
+The runtime layer over the generated library — see
+:mod:`repro.serve.service` for the architecture overview and the
+README's "Serving" section for the quickstart and counter glossary.
+"""
+
+from .batching import MicroBatcher
+from .dispatch import DispatchTable, Plan, PlanKey, size_bucket
+from .request import PendingResult, Request, Response, ServeError
+from .service import BlasService, ServeOptions
+
+__all__ = [
+    "BlasService",
+    "DispatchTable",
+    "MicroBatcher",
+    "PendingResult",
+    "Plan",
+    "PlanKey",
+    "Request",
+    "Response",
+    "ServeError",
+    "ServeOptions",
+    "size_bucket",
+]

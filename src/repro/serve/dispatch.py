@@ -1,0 +1,101 @@
+"""Dispatch table of the serving runtime: size buckets + LRU hot plans.
+
+The runtime keys tuned plans on ``(routine, arch, size-bucket)``.  The
+bucket is the power-of-two ceiling of the call's largest dimension, so
+requests of similar magnitude share a plan tuned *at that magnitude* —
+the model-driven adaptive-library idea (Cianfriglia et al., PAPERS.md):
+the winning (script, config) pair at N=64 is generally not the winner at
+N=4096, so one plan per size class keeps every class near its optimum.
+
+The table is a bounded LRU: serving traffic touches a working set of
+(routine, bucket) combinations, and the LRU keeps the hot ones resident
+while cold plans age out (they remain reconstructable from the PR 2
+on-disk tuning cache at plan-miss cost, not search cost).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from ..telemetry import Telemetry, ensure_telemetry
+from ..tuner.library import TunedRoutine
+
+__all__ = ["size_bucket", "PlanKey", "Plan", "DispatchTable"]
+
+#: (routine, arch name, size bucket)
+PlanKey = Tuple[str, str, int]
+
+#: Smallest bucket — calls tinier than this share the 16-class plan
+#: (tile sizes below 16 are outside every platform's useful range).
+MIN_BUCKET = 16
+
+
+def size_bucket(sizes: Mapping[str, int]) -> int:
+    """Power-of-two ceiling of the largest dimension, floored at 16."""
+    largest = max(sizes.values())
+    if largest <= MIN_BUCKET:
+        return MIN_BUCKET
+    return 1 << (int(largest) - 1).bit_length()
+
+
+@dataclass
+class Plan:
+    """One resident tuned plan plus its serving statistics."""
+
+    key: PlanKey
+    tuned: TunedRoutine
+    hits: int = 0
+
+    @property
+    def routine(self) -> str:
+        return self.key[0]
+
+    @property
+    def bucket(self) -> int:
+        return self.key[2]
+
+
+class DispatchTable:
+    """LRU-bounded map of :data:`PlanKey` → :class:`Plan`.
+
+    ``lookup`` both reports and *re-heats* (moves to the MRU end);
+    ``insert`` evicts the least-recently-used plan beyond ``capacity``.
+    Counters: ``serve.plan.hit`` / ``serve.plan.miss`` /
+    ``serve.plan.evict``.
+    """
+
+    def __init__(self, capacity: int = 64, telemetry: Optional[Telemetry] = None):
+        if capacity < 1:
+            raise ValueError("DispatchTable needs capacity >= 1")
+        self.capacity = capacity
+        self.telemetry = ensure_telemetry(telemetry)
+        self._plans: "OrderedDict[PlanKey, Plan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+    def keys(self):
+        """Plan keys, coldest first."""
+        return list(self._plans)
+
+    def lookup(self, key: PlanKey) -> Optional[Plan]:
+        plan = self._plans.get(key)
+        if plan is None:
+            self.telemetry.incr("serve.plan.miss")
+            return None
+        self._plans.move_to_end(key)
+        plan.hits += 1
+        self.telemetry.incr("serve.plan.hit")
+        return plan
+
+    def insert(self, plan: Plan) -> None:
+        self._plans[plan.key] = plan
+        self._plans.move_to_end(plan.key)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.telemetry.incr("serve.plan.evict")

@@ -1,0 +1,109 @@
+"""Request/response records of the BLAS3 serving runtime.
+
+A :class:`Request` is one BLAS3 call in flight: the routine, its arrays,
+its scaling factors and an optional per-request deadline (a *relative*
+budget in seconds from submission).  The service answers with a
+:class:`Response`, delivered through a :class:`PendingResult` — a
+one-shot future the submitting thread blocks on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Request", "Response", "PendingResult", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A request failed inside the service (carried via Response.error)."""
+
+
+@dataclass
+class Request:
+    """One submitted BLAS3 call."""
+
+    id: int
+    routine: str
+    arrays: Dict[str, np.ndarray]
+    alpha: float = 1.0
+    beta: float = 1.0
+    sizes: Optional[Dict[str, int]] = None
+    #: relative deadline budget in seconds (None = no deadline)
+    deadline_s: Optional[float] = None
+    #: service clock reading at submit time
+    submitted_at: float = 0.0
+
+    def group_key(self) -> Tuple:
+        """Coalescing key: requests agreeing on it batch into one launch.
+
+        Same routine, same array shapes, same scaling — the dispatch
+        work (plan lookup, sizing, bucketing) is identical for every
+        member, so the batch pays it once.
+        """
+        shapes = tuple(
+            (name, np.asarray(arr).shape) for name, arr in sorted(self.arrays.items())
+        )
+        sizes = tuple(sorted(self.sizes.items())) if self.sizes else None
+        return (self.routine, shapes, sizes, self.alpha, self.beta)
+
+    def expired(self, now: float) -> bool:
+        """Whether the deadline budget is spent at clock reading ``now``."""
+        return self.deadline_s is not None and (now - self.submitted_at) > self.deadline_s
+
+
+@dataclass
+class Response:
+    """The service's answer to one request."""
+
+    request_id: int
+    routine: str
+    output: Optional[np.ndarray] = None
+    #: "tuned" (hot/lazily-tuned plan) or "fallback" (baseline kernel)
+    source: str = "tuned"
+    #: why the baseline answered, when it did ("deadline" | "no-plan")
+    fallback_reason: Optional[str] = None
+    #: size of the coalesced launch this request rode in
+    batch_size: int = 1
+    #: queue wait (submit → launch start) and total (submit → done)
+    wait_s: float = 0.0
+    total_s: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class PendingResult:
+    """One-shot future for a submitted request."""
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._response: Optional[Response] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def fulfill(self, response: Response) -> None:
+        self._response = response
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> Response:
+        """Block for the response; raises :class:`ServeError` on failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} still pending after {timeout}s"
+            )
+        assert self._response is not None
+        if self._response.error is not None:
+            raise ServeError(self._response.error)
+        return self._response
+
+    def output(self, timeout: Optional[float] = None) -> np.ndarray:
+        """The result array (blocking convenience over :meth:`result`)."""
+        return self.result(timeout).output

@@ -1,0 +1,455 @@
+"""BlasService: the BLAS3 serving runtime.
+
+The paper generates a tuned library once; this module *serves* it.  A
+:class:`BlasService` answers a stream of BLAS3 calls through four
+cooperating mechanisms:
+
+* **dispatch** — every request is sized, bucketed and routed through a
+  ``(routine, arch, size-bucket)`` plan table with an LRU hot-plan cache
+  (:mod:`repro.serve.dispatch`).  A plan miss tunes lazily through the
+  PR 2 on-disk cache, so the *second* process start never searches.
+* **micro-batching** — concurrent same-shape requests coalesce into one
+  simulated-GPU launch (:mod:`repro.serve.batching`); the dispatcher
+  waits up to ``batch_window_s`` for company before launching.
+* **deadlines + graceful degradation** — a request carrying a relative
+  ``deadline_s`` never waits for a cold search: if its budget expires in
+  the queue, or its plan is missing and not reconstructable from the
+  on-disk cache in time, the CUBLAS/reference baseline answers instead
+  (counter ``serve.fallbacks``) — degraded performance, never an error.
+* **telemetry** — a span per launch and per request, plus counters for
+  queue depth, batch size, plan hit/miss/evict, fallbacks and errors
+  (glossary in the README's Serving section).
+
+Two execution modes share the same dispatch path:
+
+* **threaded** (``service.start()`` or the context manager): a single
+  dispatcher thread drains the queue — submitters block on
+  :meth:`PendingResult.result`;
+* **inline** (no thread): :meth:`BlasService.flush` drains the queue on
+  the caller's thread — what the deterministic tests and the latency
+  benchmark use.
+
+Quickstart::
+
+    from repro import BlasService, GTX_285
+
+    with BlasService(GTX_285) as service:
+        c = service.run("GEMM-NN", A=a, B=b, C=c, alpha=1.0, beta=0.0)
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..baselines.cublas import cublas_kernel
+from ..blas3.reference import reference
+from ..blas3.routines import get_spec, infer_sizes
+from ..gpu.arch import GPUArch, GTX_285
+from ..multigpu import MultiGPULibrary
+from ..telemetry import Telemetry, ensure_telemetry
+from ..tuner.library import LibraryGenerator
+from ..tuner.options import TuningOptions
+from .batching import MicroBatcher
+from .dispatch import DispatchTable, Plan, PlanKey, size_bucket
+from .request import PendingResult, Request, Response
+
+__all__ = ["ServeOptions", "BlasService"]
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """Runtime knobs of one :class:`BlasService` (tuning knobs live in
+    :class:`~repro.tuner.options.TuningOptions`)."""
+
+    #: largest coalesced launch
+    max_batch: int = 8
+    #: how long the dispatcher waits for same-shape company (seconds)
+    batch_window_s: float = 0.002
+    #: LRU capacity of the hot-plan table
+    hot_plans: int = 64
+    #: simulated devices the backend spreads each launch across
+    devices: int = 1
+    #: deadline applied to requests that do not carry their own
+    default_deadline_s: Optional[float] = None
+    #: tune one plan per size bucket (False: one plan per routine,
+    #: tuned at TuningOptions.tune_size, still keyed per bucket)
+    bucket_tuning: bool = True
+
+
+class BlasService:
+    """Serves BLAS3 calls from tuned plans with batching and fallback."""
+
+    def __init__(
+        self,
+        arch: GPUArch = GTX_285,
+        *,
+        options: Optional[ServeOptions] = None,
+        tuning: Optional[TuningOptions] = None,
+        telemetry: Optional[Telemetry] = None,
+        clock=time.monotonic,
+    ):
+        self.arch = arch
+        self.options = options or ServeOptions()
+        self.tuning = tuning or TuningOptions()
+        self.telemetry = ensure_telemetry(telemetry)
+        self.clock = clock
+        self.table = DispatchTable(self.options.hot_plans, telemetry=self.telemetry)
+        self._generators: Dict[int, LibraryGenerator] = {}
+        self._multigpu: Dict[int, MultiGPULibrary] = {}
+        self._batcher = MicroBatcher(self.options.max_batch)
+        self._pending: Dict[int, PendingResult] = {}
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._ids = itertools.count(1)
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+        self._peak_reported = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "BlasService":
+        """Spawn the dispatcher thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._running = True
+            self._thread = threading.Thread(
+                target=self._loop, name="blas-serve-dispatch", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the dispatcher after draining everything queued."""
+        thread = None
+        with self._lock:
+            self._running = False
+            thread = self._thread
+            self._thread = None
+            self._cond.notify_all()
+        if thread is not None:
+            thread.join()
+        self.flush()  # anything left (or a never-started service)
+
+    def __enter__(self) -> "BlasService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the public call surface ---------------------------------------
+    def submit(
+        self,
+        routine: str,
+        *,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        sizes: Optional[Mapping[str, int]] = None,
+        deadline_s: Optional[float] = None,
+        **arrays: np.ndarray,
+    ) -> PendingResult:
+        """Enqueue one call (unified convention: keyword arrays).
+
+        Returns a :class:`PendingResult`; block on ``.result()`` /
+        ``.output()``.  Without a running dispatcher thread, call
+        :meth:`flush` (or use :meth:`run`) to process the queue.
+        """
+        spec = get_spec(routine)  # canonicalises + validates the name
+        if deadline_s is None:
+            deadline_s = self.options.default_deadline_s
+        request = Request(
+            id=next(self._ids),
+            routine=spec.name,
+            arrays={k: np.asarray(v) for k, v in arrays.items()},
+            alpha=alpha,
+            beta=beta,
+            sizes=dict(sizes) if sizes is not None else None,
+            deadline_s=deadline_s,
+            submitted_at=self.clock(),
+        )
+        pending = PendingResult(request.id)
+        self.telemetry.incr("serve.requests")
+        with self._lock:
+            self._pending[request.id] = pending
+            self._batcher.append(request)
+            self.telemetry.incr("serve.queue.enqueued")
+            depth = self._batcher.peak_depth
+            if depth > self._peak_reported:
+                self.telemetry.incr("serve.queue.peak_depth", depth - self._peak_reported)
+                self._peak_reported = depth
+            self._cond.notify_all()
+        return pending
+
+    def run(
+        self,
+        routine: str,
+        *,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        sizes: Optional[Mapping[str, int]] = None,
+        deadline_s: Optional[float] = None,
+        **arrays: np.ndarray,
+    ) -> np.ndarray:
+        """Submit one call and block for its result array."""
+        pending = self.submit(
+            routine,
+            alpha=alpha,
+            beta=beta,
+            sizes=sizes,
+            deadline_s=deadline_s,
+            **arrays,
+        )
+        if self._thread is None:
+            self.flush()
+        return pending.output()
+
+    def flush(self) -> int:
+        """Drain the queue on the caller's thread; returns launches run."""
+        launches = 0
+        while True:
+            with self._lock:
+                batch = self._batcher.next_batch()
+            if not batch:
+                return launches
+            self._execute_batch(batch)
+            launches += 1
+
+    def stats(self) -> Dict:
+        """Service-level snapshot: counters + table/queue state."""
+        return {
+            "counters": self.telemetry.metrics.snapshot(),
+            "plans": len(self.table),
+            "queue_depth": len(self._batcher),
+            "peak_queue_depth": self._batcher.peak_depth,
+        }
+
+    def warm(self, routine: str, n: int) -> Plan:
+        """Pre-tune (or cache-load) the plan a size-``n`` call will use."""
+        spec = get_spec(routine)
+        plan, _ = self._resolve_plan(
+            Request(
+                id=0,
+                routine=spec.name,
+                arrays={},
+                sizes=spec.make_sizes(n),
+                submitted_at=self.clock(),
+            )
+        )
+        assert plan is not None  # no deadline → always tunes
+        return plan
+
+    # -- dispatcher ----------------------------------------------------
+    def _loop(self) -> None:
+        """Dispatcher thread: wait → micro-batch window → launch."""
+        while True:
+            with self._lock:
+                while self._running and not self._batcher:
+                    self._cond.wait()
+                if not self._batcher:
+                    if not self._running:
+                        return
+                    continue
+                window_until = self.clock() + self.options.batch_window_s
+                while (
+                    self._running
+                    and self._batcher.matching_head() < self._batcher.max_batch
+                    and self.clock() < window_until
+                ):
+                    self._cond.wait(timeout=self.options.batch_window_s)
+                batch = self._batcher.next_batch()
+            if batch:
+                self._execute_batch(batch)
+
+    # -- execution -----------------------------------------------------
+    def _sizes_for(self, request: Request) -> Dict[str, int]:
+        if request.sizes is not None:
+            return dict(request.sizes)
+        return infer_sizes(get_spec(request.routine), request.arrays)
+
+    def _generator_for(self, bucket: int) -> LibraryGenerator:
+        if not self.options.bucket_tuning:
+            bucket = 0
+        gen = self._generators.get(bucket)
+        if gen is None:
+            tuning = self.tuning
+            if bucket:
+                tuning = tuning.replace(tune_size=bucket)
+            gen = LibraryGenerator(
+                self.arch, telemetry=self.telemetry, options=tuning
+            )
+            self._generators[bucket] = gen
+        return gen
+
+    def _backend_for(self, bucket: int) -> Optional[MultiGPULibrary]:
+        """The multi-device backend (None for the single-GPU path)."""
+        if self.options.devices <= 1:
+            return None
+        lib = self._multigpu.get(bucket)
+        if lib is None:
+            lib = MultiGPULibrary(
+                self.arch,
+                self.options.devices,
+                generator=self._generator_for(bucket),
+                telemetry=self.telemetry,
+            )
+            self._multigpu[bucket] = lib
+        return lib
+
+    def _resolve_plan(self, request: Request) -> Tuple[Optional[Plan], Optional[str]]:
+        """Plan for a request, or ``(None, reason)`` when only the
+        baseline can answer within the deadline."""
+        sizes = self._sizes_for(request)
+        bucket = size_bucket(sizes)
+        key: PlanKey = (request.routine, self.arch.name, bucket)
+        plan = self.table.lookup(key)
+        if plan is not None:
+            return plan, None
+        generator = self._generator_for(bucket)
+        if request.deadline_s is not None and not generator.has_cached(request.routine):
+            # A cold search will not fit any deadline budget; answer from
+            # the baseline now instead of blocking the queue for seconds.
+            return None, "no-plan"
+        with self.telemetry.span(
+            "serve.tune", routine=request.routine, bucket=bucket
+        ):
+            tuned = generator.generate(request.routine)
+        self.telemetry.incr("serve.tuned")
+        plan = Plan(key, tuned)
+        self.table.insert(plan)
+        return plan, None
+
+    def _execute_batch(self, batch: List[Request]) -> None:
+        first = batch[0]
+        started = self.clock()
+        with self.telemetry.span(
+            "serve.launch", routine=first.routine, batch=len(batch)
+        ) as launch:
+            self.telemetry.incr("serve.launches")
+            self.telemetry.incr("serve.batched_requests", len(batch))
+            if len(batch) > 1:
+                self.telemetry.incr("serve.coalesced", len(batch) - 1)
+            try:
+                plan, fallback_reason = self._resolve_plan(first)
+            except Exception as exc:  # un-servable routine/shape
+                for request in batch:
+                    self._fulfill_error(request, exc, len(batch), started)
+                return
+            launch.tags["source"] = "fallback" if plan is None else "tuned"
+            backend = None
+            if plan is not None:
+                backend = self._backend_for(plan.bucket)
+            for request in batch:
+                self._serve_one(
+                    request, plan, backend, fallback_reason, len(batch), started
+                )
+
+    def _serve_one(
+        self,
+        request: Request,
+        plan: Optional[Plan],
+        backend: Optional[MultiGPULibrary],
+        fallback_reason: Optional[str],
+        batch_size: int,
+        started: float,
+    ) -> None:
+        wait_s = max(0.0, started - request.submitted_at)
+        with self.telemetry.span(
+            "serve.request", routine=request.routine, id=request.id
+        ) as span:
+            reason = fallback_reason
+            if reason is None and request.expired(started):
+                reason = "deadline"
+                self.telemetry.incr("serve.deadline_misses")
+            try:
+                if reason is None and plan is not None:
+                    output = self._run_tuned(request, plan, backend)
+                    source = "tuned"
+                else:
+                    output = self._run_fallback(request)
+                    source = "fallback"
+                    self.telemetry.incr("serve.fallbacks")
+                span.tags["source"] = source
+                response = Response(
+                    request_id=request.id,
+                    routine=request.routine,
+                    output=output,
+                    source=source,
+                    fallback_reason=reason,
+                    batch_size=batch_size,
+                    wait_s=wait_s,
+                    total_s=max(0.0, self.clock() - request.submitted_at),
+                )
+            except Exception as exc:
+                self._fulfill_error(request, exc, batch_size, started)
+                return
+        self._fulfill(response)
+
+    def _run_tuned(
+        self,
+        request: Request,
+        plan: Plan,
+        backend: Optional[MultiGPULibrary],
+    ) -> np.ndarray:
+        if backend is not None:
+            return backend.run(
+                request.routine,
+                alpha=request.alpha,
+                beta=request.beta,
+                **request.arrays,
+            )
+        return plan.tuned._execute(
+            request.arrays,
+            sizes=request.sizes,
+            alpha=request.alpha,
+            beta=request.beta,
+        )
+
+    def _run_fallback(self, request: Request) -> np.ndarray:
+        """Baseline answer: CUBLAS 3.2 behavioural kernel for the modeled
+        cost, reference semantics for the functional result."""
+        with self.telemetry.span(
+            "serve.fallback", routine=request.routine
+        ) as span:
+            sizes = self._sizes_for(request)
+            n = max(sizes.values())
+            try:
+                run = cublas_kernel(request.routine).profile(self.arch, n)
+                span.tags["model_gflops"] = round(run.gflops, 1)
+            except Exception:
+                span.tags["model_gflops"] = None  # baseline model unavailable
+            out = reference(
+                request.routine,
+                request.arrays,
+                alpha=request.alpha,
+                beta=request.beta,
+            )
+            return np.asarray(out, dtype=np.float32)
+
+    # -- fulfilment ----------------------------------------------------
+    def _fulfill(self, response: Response) -> None:
+        with self._lock:
+            pending = self._pending.pop(response.request_id, None)
+        if pending is not None:
+            pending.fulfill(response)
+
+    def _fulfill_error(
+        self, request: Request, exc: Exception, batch_size: int, started: float
+    ) -> None:
+        self.telemetry.incr("serve.errors")
+        self._fulfill(
+            Response(
+                request_id=request.id,
+                routine=request.routine,
+                output=None,
+                source="error",
+                batch_size=batch_size,
+                wait_s=max(0.0, started - request.submitted_at),
+                total_s=max(0.0, self.clock() - request.submitted_at),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        )

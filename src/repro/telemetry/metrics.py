@@ -15,19 +15,28 @@ telemetry section.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Mapping
 
 __all__ = ["Metrics"]
 
 
 class Metrics:
-    """Named monotonic counters with deterministic merge."""
+    """Named monotonic counters with deterministic merge.
+
+    Increments are lock-guarded so concurrent threads (the serving
+    runtime's submitters and dispatcher) never lose updates; counter
+    addition commutes, so totals stay deterministic regardless of
+    thread interleaving.
+    """
 
     def __init__(self):
         self._counters: Dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def incr(self, name: str, n: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + n
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
 
     def get(self, name: str) -> int:
         return self._counters.get(name, 0)
@@ -39,7 +48,8 @@ class Metrics:
 
     def snapshot(self) -> Dict[str, int]:
         """A JSON-ready copy, keys sorted for stable documents."""
-        return {name: self._counters[name] for name in sorted(self._counters)}
+        with self._lock:
+            return {name: self._counters[name] for name in sorted(self._counters)}
 
     def __len__(self) -> int:
         return len(self._counters)

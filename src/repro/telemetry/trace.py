@@ -19,6 +19,7 @@ clock), which keeps traces comparable without leaking wall-clock epochs.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -70,24 +71,41 @@ class Span:
 class Tracer:
     """Records a forest of nested spans.
 
-    Thread-hostile by design: one tracer belongs to one pipeline run.
-    Worker processes do not trace (they report counters instead — see
-    :mod:`repro.telemetry.metrics`), so the span tree always reflects
-    the parent's call structure.
+    Thread-aware: each thread nests spans on its own stack (so the tree
+    always reflects that thread's call structure) and root appends are
+    lock-serialised.  The serving runtime
+    (:class:`~repro.serve.BlasService`) traces caller threads and its
+    dispatcher thread against one tracer; worker *processes* still do
+    not trace (they report counters instead — see
+    :mod:`repro.telemetry.metrics`).
     """
 
     def __init__(self, clock=time.perf_counter):
         self._clock = clock
         self._t0 = clock()
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    @property
+    def _stack(self) -> List[Span]:
+        """This thread's open-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @contextmanager
     def span(self, name: str, **tags) -> Iterator[Span]:
         sp = Span(name, dict(tags), start_s=self._clock() - self._t0)
-        parent = self._stack[-1] if self._stack else None
-        (parent.children if parent is not None else self.roots).append(sp)
-        self._stack.append(sp)
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            parent.children.append(sp)
+        else:
+            with self._lock:
+                self.roots.append(sp)
+        stack.append(sp)
         try:
             yield sp
         except BaseException:
@@ -95,11 +113,12 @@ class Tracer:
             raise
         finally:
             sp.duration_s = self._clock() - self._t0 - sp.start_s
-            self._stack.pop()
+            stack.pop()
 
     def current(self) -> Optional[Span]:
-        """The innermost open span, or ``None`` outside any span."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span on this thread, or ``None``."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def walk(self) -> Iterator[Span]:
         for root in self.roots:

@@ -3,6 +3,7 @@ persistent result caching."""
 
 from .cache import TuningCache, arch_fingerprint, space_fingerprint
 from .library import GeneratedLibrary, LibraryGenerator, TunedRoutine
+from .options import TuningOptions, resolve_options
 from .persist import FORMAT_VERSION, load_library, save_library
 from .search import (
     CURATED_SPACE,
@@ -24,7 +25,9 @@ __all__ = [
     "SearchResult",
     "TunedRoutine",
     "TuningCache",
+    "TuningOptions",
     "VariantSearch",
+    "resolve_options",
     "arch_fingerprint",
     "load_library",
     "save_library",

@@ -164,6 +164,15 @@ class TuningCache:
             pass
 
     # -- routine winners ----------------------------------------------
+    def has_routine(self, key: str, routine: str) -> bool:
+        """Cheap existence probe: is a winner stored for this key?
+
+        A stat, not a parse — a corrupt document still reports True and
+        resolves to a miss at :meth:`load_routine` time, which only
+        costs the prober a recompute it would have needed anyway.
+        """
+        return self._path("routine", routine, key).is_file()
+
     def load_routine(self, key: str, routine: str, arch: GPUArch) -> Optional[TunedRoutine]:
         """Rebuild a cached winner, or ``None`` on miss/corruption."""
         from .persist import FORMAT_VERSION, rebuild_routine

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
@@ -22,7 +23,13 @@ import numpy as np
 from ..adl.builtin import BUILTIN_ADAPTORS
 from ..blas3.naming import ALL_VARIANTS
 from ..blas3.reference import reference
-from ..blas3.routines import BASE_GEMM_SCRIPT, RoutineSpec, build_routine, get_spec
+from ..blas3.routines import (
+    BASE_GEMM_SCRIPT,
+    RoutineSpec,
+    build_routine,
+    get_spec,
+    infer_sizes,
+)
 from ..composer.compose import compose_candidates
 from ..composer.filterer import filter_candidates
 from ..composer.generator import ComposedScript
@@ -34,6 +41,7 @@ from ..gpu.simulator import RunResult, SimulatedGPU
 from ..ir.ast import Computation
 from ..telemetry import Telemetry, ensure_telemetry
 from ..transforms.triangular import blank_zero_flag
+from .options import TuningOptions, _legacy_knobs, resolve_options
 from .search import CandidateScore, SearchResult, VariantSearch
 from .space import Config
 
@@ -88,14 +96,59 @@ class TunedRoutine:
         blank = np.triu(data, 1) if arr.triangular == "lower" else np.tril(data, -1)
         return not np.any(blank)
 
+    def render_script(self) -> str:
+        """Rendered text of the winning EPOD script (paper Fig. 14).
+
+        The facade for ``.script.script.render()`` — callers should not
+        need to know that a :class:`ComposedScript` wraps the raw
+        :class:`~repro.epod.script.EpodScript`.
+        """
+        return self.script.script.render()
+
     def run(
+        self,
+        inputs: Optional[Mapping[str, np.ndarray]] = None,
+        sizes: Optional[Mapping[str, int]] = None,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        **arrays: np.ndarray,
+    ) -> np.ndarray:
+        """Execute the routine functionally on the simulated GPU.
+
+        The unified calling convention (shared with
+        :meth:`GeneratedLibrary.run`, :meth:`MultiGPULibrary.run` and
+        :meth:`BlasService.submit`): arrays are keyword arguments, with
+        explicit ``alpha``/``beta``::
+
+            tuned.run(A=a, B=b, C=c, alpha=2.0, beta=0.5)
+
+        Passing a positional mapping of arrays (the pre-1.1 convention)
+        still works but emits a :class:`DeprecationWarning`.
+        """
+        if inputs is not None:
+            if arrays:
+                raise TypeError(
+                    f"{self.name}.run(): pass arrays either as a mapping or "
+                    "as keyword arguments, not both"
+                )
+            warnings.warn(
+                f"{self.name}.run({{...}}) with a positional array mapping is "
+                "deprecated; pass arrays as keyword arguments: "
+                "run(A=a, B=b, ...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            arrays = dict(inputs)
+        return self._execute(arrays, sizes=sizes, alpha=alpha, beta=beta)
+
+    def _execute(
         self,
         inputs: Mapping[str, np.ndarray],
         sizes: Optional[Mapping[str, int]] = None,
         alpha: float = 1.0,
         beta: float = 1.0,
     ) -> np.ndarray:
-        """Execute the routine functionally on the simulated GPU.
+        """The execution body behind :meth:`run` (no signature shims).
 
         Applies full BLAS semantics: the kernel computes the core update,
         alpha/beta scaling happens host-side (see DESIGN.md).  Conditioned
@@ -107,7 +160,7 @@ class TunedRoutine:
                 raise RuntimeError(
                     f"{self.name}: blank area not zero and no fallback variant"
                 )
-            return self.fallback.run(inputs, sizes=sizes, alpha=alpha, beta=beta)
+            return self.fallback._execute(inputs, sizes=sizes, alpha=alpha, beta=beta)
 
         if sizes is None:
             sizes = self._infer_sizes(inputs)
@@ -176,7 +229,7 @@ class TunedRoutine:
                 for d in range(n0, shape[0]):
                     buf[d, d] = 1.0
             padded_inputs[arr.name] = buf
-        result = self.run(padded_inputs, sizes=padded_sizes, alpha=alpha, beta=beta)
+        result = self._execute(padded_inputs, sizes=padded_sizes, alpha=alpha, beta=beta)
         out_shape = tuple(
             d.evaluate(env) for d in self._array(self.spec.output).dims
         )
@@ -189,16 +242,7 @@ class TunedRoutine:
         raise KeyError(name)
 
     def _infer_sizes(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, int]:
-        b = np.asarray(inputs["B"])
-        if self.spec.variant.family == "GEMM":
-            a = np.asarray(inputs["A"])
-            ta = self.spec.variant.trans_a
-            tb = self.spec.variant.trans_b
-            m = a.shape[0] if ta == "N" else a.shape[1]
-            k = a.shape[1] if ta == "N" else a.shape[0]
-            n = b.shape[1] if tb == "N" else b.shape[0]
-            return {"M": m, "N": n, "K": k}
-        return {"M": b.shape[0], "N": b.shape[1]}
+        return infer_sizes(self.spec, inputs)
 
     def cuda_source(self) -> str:
         from ..codegen.cuda import emit_cuda
@@ -212,7 +256,7 @@ class LibraryGenerator:
     def __init__(
         self,
         arch: GPUArch,
-        tune_size: int = 4096,
+        tune_size: Optional[int] = None,
         space: Optional[Sequence[Config]] = None,
         full_space: bool = False,
         verify_size: int = 2,
@@ -220,17 +264,25 @@ class LibraryGenerator:
         jobs: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         telemetry: Optional[Telemetry] = None,
+        options: Optional[TuningOptions] = None,
     ):
+        options = resolve_options(
+            options,
+            owner="LibraryGenerator",
+            **_legacy_knobs(
+                tune_size=tune_size,
+                space=space,
+                full_space=full_space,
+                jobs=jobs,
+                cache_dir=cache_dir,
+            ),
+        )
         self.arch = arch
-        self.tune_size = tune_size
+        self.options = options
+        self.tune_size = options.tune_size
         self.telemetry = ensure_telemetry(telemetry)
         self.searcher = VariantSearch(
-            arch,
-            tune_size,
-            space=space,
-            full_space=full_space,
-            jobs=jobs,
-            telemetry=self.telemetry,
+            arch, telemetry=self.telemetry, options=options
         )
         self.base_script = parse_script(BASE_GEMM_SCRIPT, name="gemm-nn")
         self.verify_size = verify_size
@@ -239,10 +291,10 @@ class LibraryGenerator:
         self._verify_cache: Dict = {}
         self.disk_cache = None
         self._verdict_key = None
-        if cache_dir is not None:
+        if options.cache_dir is not None:
             from .cache import TuningCache, space_fingerprint
 
-            self.disk_cache = TuningCache(cache_dir, telemetry=self.telemetry)
+            self.disk_cache = TuningCache(options.cache_dir, telemetry=self.telemetry)
             self._base_hash = hashlib.sha256(
                 self.base_script.render().encode("utf-8")
             ).hexdigest()[:24]
@@ -335,6 +387,21 @@ class LibraryGenerator:
             if self.disk_cache is not None:
                 self.disk_cache.store_routine(disk_key, tuned)
             return tuned
+
+    def has_cached(self, name: str) -> bool:
+        """Whether :meth:`generate` would return without running a search.
+
+        True when the routine's winner is already in the in-process memo
+        or stored in the on-disk tuning cache.  The serving runtime uses
+        this to decide whether a deadline-bound request can afford the
+        cold-tuning path or must fall back to the baseline kernel.
+        """
+        key = get_spec(name).name
+        if key in self._cache:
+            return True
+        if self.disk_cache is None:
+            return False
+        return self.disk_cache.has_routine(self._routine_cache_key(key), key)
 
     def library(self, names: Optional[Sequence[str]] = None) -> "GeneratedLibrary":
         names = list(names or (v.name for v in ALL_VARIANTS))
@@ -455,5 +522,16 @@ class GeneratedLibrary:
     def gflops(self, name: str, n: int) -> float:
         return self[name].gflops(n)
 
-    def run(self, name: str, alpha: float = 1.0, beta: float = 1.0, **arrays) -> np.ndarray:
-        return self[name].run(arrays, alpha=alpha, beta=beta)
+    def run(
+        self,
+        name: str,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        sizes: Optional[Mapping[str, int]] = None,
+        **arrays: np.ndarray,
+    ) -> np.ndarray:
+        """Execute one routine — unified convention (keyword arrays)::
+
+            lib.run("SYMM-LL", A=a, B=b, C=c, alpha=1.0, beta=0.0)
+        """
+        return self[name]._execute(arrays, sizes=sizes, alpha=alpha, beta=beta)

@@ -1,0 +1,132 @@
+"""TuningOptions: one frozen config object for the whole tuning stack.
+
+Before this module every layer of the pipeline —
+:class:`~repro.oa.OAFramework`,
+:class:`~repro.tuner.library.LibraryGenerator`,
+:class:`~repro.tuner.search.VariantSearch` — re-declared the same five
+keyword arguments (``tune_size``, ``space``, ``full_space``, ``jobs``,
+``cache_dir``) and forwarded them by hand.  Now the knobs are built once
+(e.g. in ``cli._make_oa``) and threaded down as a single immutable
+value::
+
+    from repro import OAFramework, TuningOptions, GTX_285
+
+    opts = TuningOptions(tune_size=1024, jobs=4, cache_dir="~/.repro")
+    oa = OAFramework(GTX_285, options=opts)
+
+The legacy keyword arguments still work on every layer through
+:func:`resolve_options`, which folds them into a ``TuningOptions`` and
+emits a :class:`DeprecationWarning`; passing *both* ``options=`` and a
+legacy knob is an error (there is no sensible merge order).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
+
+from .space import Config
+
+__all__ = ["TuningOptions", "resolve_options"]
+
+
+def _legacy_knobs(**knobs) -> dict:
+    """Drop knobs left at their "unset" defaults (``None`` / ``False``).
+
+    The legacy keyword signatures cannot distinguish ``space=None`` from
+    "not passed", but ``None``/``False`` mean "use the default" in both
+    styles, so filtering them is lossless.
+    """
+    return {
+        name: value
+        for name, value in knobs.items()
+        if value is not None and value is not False
+    }
+
+
+@dataclass(frozen=True)
+class TuningOptions:
+    """Immutable tuning configuration shared by every pipeline layer.
+
+    ``space`` is normalised to a tuple of plain dicts so the object can
+    be passed around (and compared) safely; ``None`` means "use the
+    curated default space" (or the full space when ``full_space``).
+    """
+
+    tune_size: int = 4096
+    space: Optional[Tuple[Config, ...]] = None
+    full_space: bool = False
+    jobs: Optional[int] = None
+    cache_dir: Optional[Union[str, Path]] = None
+
+    def __post_init__(self):
+        if self.space is not None:
+            object.__setattr__(
+                self, "space", tuple(dict(cfg) for cfg in self.space)
+            )
+        if self.cache_dir is not None:
+            object.__setattr__(self, "cache_dir", Path(self.cache_dir))
+
+    def replace(self, **changes) -> "TuningOptions":
+        """A copy with some fields changed (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: Sentinel distinguishing "not passed" from an explicit ``None``.
+_UNSET = object()
+
+
+def resolve_options(
+    options: Optional[TuningOptions],
+    *,
+    owner: str,
+    stacklevel: int = 3,
+    tune_size=_UNSET,
+    space=_UNSET,
+    full_space=_UNSET,
+    jobs=_UNSET,
+    cache_dir=_UNSET,
+) -> TuningOptions:
+    """Fold legacy per-knob keyword arguments into a :class:`TuningOptions`.
+
+    * ``options`` given, no legacy knobs → returned unchanged.
+    * legacy knobs only → packed into a fresh ``TuningOptions`` with a
+      :class:`DeprecationWarning` naming the owning class.
+    * both → :class:`TypeError`; the caller must pick one style.
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("tune_size", tune_size),
+            ("space", space),
+            ("full_space", full_space),
+            ("jobs", jobs),
+            ("cache_dir", cache_dir),
+        )
+        if value is not _UNSET
+    }
+    if options is not None:
+        if not isinstance(options, TuningOptions):
+            raise TypeError(
+                f"{owner}: options= must be a TuningOptions, "
+                f"got {type(options).__name__}"
+            )
+        if legacy:
+            raise TypeError(
+                f"{owner}: pass tuning knobs either via options= or as "
+                f"keyword arguments, not both (got options= and "
+                f"{', '.join(sorted(legacy))})"
+            )
+        return options
+    if legacy:
+        warnings.warn(
+            f"{owner}({', '.join(sorted(legacy))}=...) is deprecated; "
+            f"pass options=TuningOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return TuningOptions(**legacy)
+    return TuningOptions()

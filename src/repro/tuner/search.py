@@ -37,6 +37,7 @@ from ..gpu.arch import GPUArch
 from ..gpu.simulator import RunResult, SimulatedGPU
 from ..ir.ast import Computation
 from ..telemetry import Metrics, Telemetry, ensure_telemetry
+from .options import TuningOptions, _legacy_knobs, resolve_options
 from .space import Config, DEFAULT_SPACE, prune_space
 
 __all__ = [
@@ -224,22 +225,31 @@ class VariantSearch:
     def __init__(
         self,
         arch: GPUArch,
-        tune_size: int = 4096,
+        tune_size: Optional[int] = None,
         space: Optional[Sequence[Config]] = None,
         full_space: bool = False,
         jobs: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        options: Optional[TuningOptions] = None,
     ):
+        options = resolve_options(
+            options,
+            owner="VariantSearch",
+            **_legacy_knobs(
+                tune_size=tune_size, space=space, full_space=full_space, jobs=jobs
+            ),
+        )
         self.arch = arch
-        self.tune_size = tune_size
-        if space is not None:
-            self.space = list(space)
-        elif full_space:
+        self.options = options
+        self.tune_size = options.tune_size
+        if options.space is not None:
+            self.space = list(options.space)
+        elif options.full_space:
             self.space = prune_space(arch, DEFAULT_SPACE)
         else:
             self.space = prune_space(arch, CURATED_SPACE)
         self.gpu = SimulatedGPU(arch)
-        self.jobs = resolve_jobs(jobs)
+        self.jobs = resolve_jobs(options.jobs)
         self.telemetry = ensure_telemetry(telemetry)
         #: ``"Type: message"`` of the last pool failure that forced the
         #: sequential fallback (``None`` while the pool behaves).

@@ -7,7 +7,7 @@ import pytest
 
 from repro.blas3 import get_spec, random_inputs, reference
 from repro.gpu import FERMI_C2050, GEFORCE_9800, GTX_285, occupancy
-from repro.tuner import LibraryGenerator
+from repro.tuner import LibraryGenerator, TuningOptions
 
 pytestmark = pytest.mark.slow
 
@@ -21,7 +21,10 @@ ARCHES = (GEFORCE_9800, GTX_285, FERMI_C2050)
 
 @pytest.fixture(scope="module")
 def generators():
-    return {arch.name: LibraryGenerator(arch, space=SMALL_SPACE) for arch in ARCHES}
+    return {
+        arch.name: LibraryGenerator(arch, options=TuningOptions(space=SMALL_SPACE))
+        for arch in ARCHES
+    }
 
 
 @pytest.mark.parametrize("arch", ARCHES, ids=lambda a: a.name)
@@ -31,7 +34,7 @@ def test_generation_correct_everywhere(generators, arch, name):
     spec = get_spec(name)
     sizes = spec.make_sizes(32)
     inputs = random_inputs(name, sizes, seed=31)
-    got = tuned.run(inputs)
+    got = tuned.run(**inputs)
     np.testing.assert_allclose(got, reference(name, inputs), rtol=4e-3, atol=4e-3)
 
 

@@ -10,7 +10,7 @@ import pytest
 
 from repro.blas3 import ALL_VARIANTS, get_spec, random_inputs, reference
 from repro.gpu import GTX_285
-from repro.tuner import LibraryGenerator
+from repro.tuner import LibraryGenerator, TuningOptions
 
 pytestmark = pytest.mark.slow
 
@@ -21,7 +21,7 @@ SMALL_SPACE = [
 
 @pytest.fixture(scope="module")
 def gen():
-    return LibraryGenerator(GTX_285, space=SMALL_SPACE)
+    return LibraryGenerator(GTX_285, options=TuningOptions(space=SMALL_SPACE))
 
 
 @pytest.mark.parametrize("name", [v.name for v in ALL_VARIANTS])
@@ -30,7 +30,7 @@ def test_variant_end_to_end(gen, name):
     spec = get_spec(name)
     sizes = spec.make_sizes(32)
     inputs = random_inputs(name, sizes, seed=13)
-    got = tuned.run(inputs)
+    got = tuned.run(**inputs)
     want = reference(name, inputs)
     np.testing.assert_allclose(got, want, rtol=4e-3, atol=4e-3)
 

@@ -12,7 +12,7 @@ from repro.reporting.data import (
     speedup_rows,
     symm_profile,
 )
-from repro.tuner import LibraryGenerator
+from repro.tuner import LibraryGenerator, TuningOptions
 
 SMALL_SPACE = [{"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2}]
 
@@ -23,7 +23,7 @@ def small_generator():
     saved = dict(reporting_data._GENERATORS)
     reporting_data._GENERATORS.clear()
     reporting_data._GENERATORS[GTX_285.name] = LibraryGenerator(
-        GTX_285, space=SMALL_SPACE
+        GTX_285, options=TuningOptions(space=SMALL_SPACE)
     )
     yield
     reporting_data._GENERATORS.clear()

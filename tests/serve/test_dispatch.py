@@ -1,0 +1,62 @@
+"""Tests for the serving dispatch table (size buckets, LRU hot plans)."""
+
+import pytest
+
+from repro.gpu import GTX_285
+from repro.serve.dispatch import DispatchTable, Plan, size_bucket
+from repro.telemetry import Telemetry
+
+
+class TestSizeBucket:
+    def test_power_of_two_ceiling(self):
+        assert size_bucket({"M": 100, "N": 100}) == 128
+        assert size_bucket({"M": 128, "N": 64}) == 128
+        assert size_bucket({"M": 129, "N": 1}) == 256
+
+    def test_largest_dimension_wins(self):
+        assert size_bucket({"M": 32, "N": 2000, "K": 16}) == 2048
+
+    def test_floor_at_min_bucket(self):
+        assert size_bucket({"M": 1, "N": 3}) == 16
+        assert size_bucket({"M": 16, "N": 16}) == 16
+
+
+def _plan(routine="GEMM-NN", bucket=64, tuned=None):
+    return Plan((routine, GTX_285.name, bucket), tuned)
+
+
+class TestDispatchTable:
+    def test_lookup_miss_then_hit(self):
+        telemetry = Telemetry()
+        table = DispatchTable(capacity=4, telemetry=telemetry)
+        key = ("GEMM-NN", GTX_285.name, 64)
+        assert table.lookup(key) is None
+        table.insert(_plan())
+        plan = table.lookup(key)
+        assert plan is not None and plan.hits == 1
+        assert telemetry.count("serve.plan.miss") == 1
+        assert telemetry.count("serve.plan.hit") == 1
+
+    def test_lru_eviction_order(self):
+        telemetry = Telemetry()
+        table = DispatchTable(capacity=2, telemetry=telemetry)
+        table.insert(_plan(bucket=16))
+        table.insert(_plan(bucket=32))
+        # re-heat the 16-bucket plan, then overflow: 32 must evict
+        assert table.lookup(("GEMM-NN", GTX_285.name, 16)) is not None
+        table.insert(_plan(bucket=64))
+        assert ("GEMM-NN", GTX_285.name, 32) not in table
+        assert ("GEMM-NN", GTX_285.name, 16) in table
+        assert ("GEMM-NN", GTX_285.name, 64) in table
+        assert telemetry.count("serve.plan.evict") == 1
+
+    def test_keys_coldest_first(self):
+        table = DispatchTable(capacity=4)
+        table.insert(_plan(bucket=16))
+        table.insert(_plan(bucket=32))
+        table.lookup(("GEMM-NN", GTX_285.name, 16))
+        assert [k[2] for k in table.keys()] == [32, 16]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            DispatchTable(capacity=0)

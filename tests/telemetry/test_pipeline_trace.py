@@ -10,7 +10,7 @@ import pytest
 
 from repro.gpu import GTX_285
 from repro.telemetry import Telemetry
-from repro.tuner import LibraryGenerator
+from repro.tuner import LibraryGenerator, TuningOptions
 
 SMALL_SPACE = [
     {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
@@ -21,7 +21,8 @@ SMALL_SPACE = [
 def generate_with_trace(cache_dir, jobs=1):
     telemetry = Telemetry()
     gen = LibraryGenerator(
-        GTX_285, space=SMALL_SPACE, cache_dir=cache_dir, jobs=jobs,
+        GTX_285,
+        options=TuningOptions(space=SMALL_SPACE, cache_dir=cache_dir, jobs=jobs),
         telemetry=telemetry,
     )
     gen.generate("GEMM-NN")
@@ -98,7 +99,9 @@ class TestMultiGPUTrace:
         from repro.multigpu import MultiGPULibrary
 
         telemetry = Telemetry()
-        gen = LibraryGenerator(GTX_285, space=SMALL_SPACE, telemetry=telemetry)
+        gen = LibraryGenerator(
+            GTX_285, options=TuningOptions(space=SMALL_SPACE), telemetry=telemetry
+        )
         lib = MultiGPULibrary(GTX_285, 2, generator=gen)
         assert lib.telemetry is telemetry  # inherited from the generator
         lib.timing("GEMM-NN", 513)

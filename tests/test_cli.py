@@ -91,6 +91,85 @@ class TestCli:
         assert load_library(out).names() == ["GEMM-NN"]
 
 
+class TestServeCli:
+    def test_serve_stream(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--routines",
+                    "GEMM-NN",
+                    "--requests",
+                    "6",
+                    "-n",
+                    "32",
+                    "--max-batch",
+                    "4",
+                    "--jobs",
+                    "1",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "served 6 requests" in out
+        assert "GEMM-NN" in out and "mean ms" in out
+        assert "launches" in out and "plan hits" in out
+        assert list(tmp_path.glob("routine-*.json"))  # tuned through the cache
+
+    def test_serve_deadline_forces_fallback(self, capsys, tmp_path):
+        # A tight deadline with a cold cache: every request degrades to
+        # the baseline instead of waiting for a tuning search.
+        assert (
+            main(
+                [
+                    "serve",
+                    "--routines",
+                    "SYMM-LL",
+                    "--requests",
+                    "4",
+                    "-n",
+                    "32",
+                    "--deadline-ms",
+                    "0.001",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fallbacks 4" in out
+
+    def test_serve_writes_trace_json(self, capsys, tmp_path):
+        trace = tmp_path / "serve-trace.json"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--routines",
+                    "GEMM-NN",
+                    "--requests",
+                    "2",
+                    "-n",
+                    "32",
+                    "--deadline-ms",
+                    "0.001",
+                    "--trace-json",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        doc = json.loads(trace.read_text())
+        assert any(s["name"] == "serve.launch" for s in doc["spans"])
+        assert doc["counters"]["serve.requests"] == 2
+
+
 class TestTraceCli:
     def test_generate_writes_trace_json(self, capsys, tmp_path):
         import json

@@ -6,14 +6,14 @@ import pytest
 from repro.blas3 import random_inputs, reference
 from repro.gpu import GTX_285
 from repro.multigpu import MultiGPULibrary
-from repro.tuner import LibraryGenerator
+from repro.tuner import LibraryGenerator, TuningOptions
 
 SMALL_SPACE = [{"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2}]
 
 
 @pytest.fixture(scope="module")
 def gen():
-    return LibraryGenerator(GTX_285, space=SMALL_SPACE)
+    return LibraryGenerator(GTX_285, options=TuningOptions(space=SMALL_SPACE))
 
 
 @pytest.fixture(scope="module")
@@ -28,21 +28,21 @@ class TestFunctional:
         if name == "GEMM-NN":
             sizes["K"] = 16
         inputs = random_inputs(name, sizes, seed=21)
-        got = lib2.run(name, inputs)
+        got = lib2.run(name, **inputs)
         np.testing.assert_allclose(
             got, reference(name, inputs), rtol=4e-3, atol=4e-3
         )
 
     def test_right_side_matches_reference(self, lib2):
         inputs = random_inputs("TRMM-RU-N", {"M": 32, "N": 32}, seed=22)
-        got = lib2.run("TRMM-RU-N", inputs)
+        got = lib2.run("TRMM-RU-N", **inputs)
         np.testing.assert_allclose(
             got, reference("TRMM-RU-N", inputs), rtol=4e-3, atol=4e-3
         )
 
     def test_alpha_beta(self, lib2):
         inputs = random_inputs("GEMM-NN", {"M": 32, "N": 32, "K": 16}, seed=23)
-        got = lib2.run("GEMM-NN", inputs, alpha=2.0, beta=-0.5)
+        got = lib2.run("GEMM-NN", alpha=2.0, beta=-0.5, **inputs)
         np.testing.assert_allclose(
             got, reference("GEMM-NN", inputs, alpha=2.0, beta=-0.5), rtol=4e-3, atol=4e-3
         )
@@ -52,7 +52,7 @@ class TestFunctional:
         # divisible by the device count while timing() silently modeled
         # it — both now agree on ceil-sized panels.
         inputs = random_inputs("GEMM-NN", {"M": 32, "N": 31, "K": 16}, seed=24)
-        got = lib2.run("GEMM-NN", inputs)
+        got = lib2.run("GEMM-NN", **inputs)
         np.testing.assert_allclose(
             got, reference("GEMM-NN", inputs), rtol=4e-3, atol=4e-3
         )
@@ -60,7 +60,7 @@ class TestFunctional:
     def test_more_devices_than_columns(self, gen):
         lib = MultiGPULibrary(GTX_285, num_devices=8, generator=gen)
         inputs = random_inputs("GEMM-NN", {"M": 32, "N": 4, "K": 16}, seed=26)
-        got = lib.run("GEMM-NN", inputs)
+        got = lib.run("GEMM-NN", **inputs)
         np.testing.assert_allclose(
             got, reference("GEMM-NN", inputs), rtol=4e-3, atol=4e-3
         )
@@ -68,7 +68,7 @@ class TestFunctional:
     def test_single_device_degenerate(self, gen):
         lib1 = MultiGPULibrary(GTX_285, num_devices=1, generator=gen)
         inputs = random_inputs("GEMM-NN", {"M": 32, "N": 32, "K": 16}, seed=25)
-        got = lib1.run("GEMM-NN", inputs)
+        got = lib1.run("GEMM-NN", **inputs)
         np.testing.assert_allclose(
             got, reference("GEMM-NN", inputs), rtol=4e-3, atol=4e-3
         )

@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro import GTX_285, OAFramework
+from repro import GTX_285, OAFramework, TuningOptions
 
 SMALL_SPACE = [{"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2}]
 
 
 @pytest.fixture(scope="module")
 def oa():
-    return OAFramework(GTX_285, space=SMALL_SPACE)
+    return OAFramework(GTX_285, options=TuningOptions(space=SMALL_SPACE))
 
 
 def test_routines_list(oa):

@@ -1,0 +1,90 @@
+"""Tests for the unified public-API surface.
+
+The facade contract: ``repro.__all__`` is the public API, it matches what
+the package actually exposes, and the options objects accept both the new
+``options=`` style and the deprecated legacy kwargs.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.gpu import GTX_285
+from repro.oa import OAFramework
+from repro.tuner import LibraryGenerator, TuningOptions, VariantSearch
+from repro.tuner.options import resolve_options
+
+SMALL_SPACE = ({"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},)
+
+
+class TestAllConsistency:
+    def test_all_matches_public_names(self):
+        import types
+
+        public = {
+            name
+            for name, value in vars(repro).items()
+            if not name.startswith("_")
+            and not isinstance(value, types.ModuleType)
+            and name != "annotations"
+        }
+        assert public == set(repro.__all__)
+
+    def test_all_is_sorted_and_unique(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+        assert list(repro.__all__) == sorted(repro.__all__)
+
+    def test_every_name_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_serving_surface_is_public(self):
+        for name in ("BlasService", "ServeOptions", "TuningOptions",
+                     "MultiGPULibrary", "MultiGPUTiming"):
+            assert name in repro.__all__
+
+
+class TestTuningOptions:
+    def test_frozen_and_replace(self):
+        options = TuningOptions(tune_size=512)
+        with pytest.raises(Exception):
+            options.tune_size = 1024
+        assert options.replace(jobs=2).jobs == 2
+        assert options.replace(jobs=2).tune_size == 512
+
+    def test_options_style_accepted_everywhere(self):
+        options = TuningOptions(tune_size=256, space=SMALL_SPACE)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no deprecation noise
+            search = VariantSearch(GTX_285, options=options)
+            generator = LibraryGenerator(GTX_285, options=options)
+            oa = OAFramework(GTX_285, options=options)
+        assert search.options.tune_size == 256
+        assert generator.options.space == SMALL_SPACE
+        assert oa.generator.options.tune_size == 256
+
+    def test_legacy_kwargs_warn_but_work(self):
+        with pytest.deprecated_call(match="VariantSearch"):
+            search = VariantSearch(GTX_285, tune_size=256, space=SMALL_SPACE)
+        assert search.options.tune_size == 256
+
+        with pytest.deprecated_call(match="OAFramework"):
+            oa = OAFramework(GTX_285, tune_size=128)
+        assert oa.generator.options.tune_size == 128
+
+    def test_options_plus_legacy_is_an_error(self):
+        with pytest.raises(TypeError):
+            VariantSearch(GTX_285, options=TuningOptions(), tune_size=256)
+        with pytest.raises(TypeError):
+            OAFramework(GTX_285, options=TuningOptions(), space=SMALL_SPACE)
+
+    def test_resolve_defaults(self):
+        options = resolve_options(None, owner="test")
+        assert options == TuningOptions()
+        assert options.tune_size == 4096
+        assert options.full_space is False
+
+    def test_space_normalised_to_tuple(self):
+        options = TuningOptions(space=[{"BM": 16}])
+        assert isinstance(options.space, tuple)

@@ -8,7 +8,7 @@ import pytest
 
 from repro.blas3 import random_inputs, reference
 from repro.gpu import FERMI_C2050, GTX_285
-from repro.tuner import LibraryGenerator, TuningCache, space_fingerprint
+from repro.tuner import LibraryGenerator, TuningCache, TuningOptions, space_fingerprint
 
 SMALL_SPACE = [
     {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
@@ -29,8 +29,13 @@ class CountingSearch:
         return self.searcher(*args, **kwargs)
 
 
-def make_gen(cache_dir, **kwargs):
-    return LibraryGenerator(GTX_285, space=SMALL_SPACE, cache_dir=cache_dir, **kwargs)
+def make_gen(cache_dir, **tuning_kwargs):
+    return LibraryGenerator(
+        GTX_285,
+        options=TuningOptions(
+            space=SMALL_SPACE, cache_dir=cache_dir, **tuning_kwargs
+        ),
+    )
 
 
 class TestWarmCache:
@@ -67,7 +72,7 @@ class TestWarmCache:
         sizes = {"M": 32, "N": 32}
         inputs = random_inputs("TRMM-LL-N", sizes, seed=9)
         np.testing.assert_allclose(
-            warm.run(inputs), reference("TRMM-LL-N", inputs), rtol=3e-3, atol=3e-3
+            warm.run(**inputs), reference("TRMM-LL-N", inputs), rtol=3e-3, atol=3e-3
         )
 
     def test_fallback_survives_the_cache(self, tmp_path):
@@ -106,7 +111,7 @@ class TestInvalidation:
     def test_different_space_misses(self, tmp_path):
         make_gen(tmp_path).generate("GEMM-NN")
         other = LibraryGenerator(
-            GTX_285, space=SMALL_SPACE[:1], cache_dir=tmp_path
+            GTX_285, options=TuningOptions(space=SMALL_SPACE[:1], cache_dir=tmp_path)
         )
         counter = CountingSearch(other.searcher.search)
         other.searcher.search = counter
@@ -116,7 +121,7 @@ class TestInvalidation:
     def test_different_arch_misses(self, tmp_path):
         make_gen(tmp_path).generate("GEMM-NN")
         other = LibraryGenerator(
-            FERMI_C2050, space=SMALL_SPACE, cache_dir=tmp_path
+            FERMI_C2050, options=TuningOptions(space=SMALL_SPACE, cache_dir=tmp_path)
         )
         counter = CountingSearch(other.searcher.search)
         other.searcher.search = counter
@@ -149,14 +154,14 @@ class TestCachePrimitives:
         ro.mkdir()
         ro.chmod(0o500)
         try:
-            gen = LibraryGenerator(GTX_285, space=SMALL_SPACE, cache_dir=ro)
+            gen = LibraryGenerator(GTX_285, options=TuningOptions(space=SMALL_SPACE, cache_dir=ro))
             tuned = gen.generate("GEMM-NN")  # store fails silently
             assert tuned.tuned_gflops > 0
         finally:
             ro.chmod(0o700)
 
     def test_no_cache_dir_means_no_disk_io(self, tmp_path):
-        gen = LibraryGenerator(GTX_285, space=SMALL_SPACE)
+        gen = LibraryGenerator(GTX_285, options=TuningOptions(space=SMALL_SPACE))
         assert gen.disk_cache is None
         gen.generate("GEMM-NN")
         assert list(tmp_path.iterdir()) == []

@@ -9,7 +9,7 @@ import pytest
 
 from repro.blas3 import get_spec, random_inputs, reference
 from repro.gpu import GTX_285
-from repro.tuner import LibraryGenerator
+from repro.tuner import LibraryGenerator, TuningOptions
 
 SMALL_SPACE = [
     {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
@@ -19,7 +19,7 @@ SMALL_SPACE = [
 
 @pytest.fixture(scope="module")
 def gen():
-    return LibraryGenerator(GTX_285, space=SMALL_SPACE)
+    return LibraryGenerator(GTX_285, options=TuningOptions(space=SMALL_SPACE))
 
 
 class TestGenerate:
@@ -51,7 +51,7 @@ class TestRun:
         tuned = gen.generate("GEMM-NN")
         sizes = {"M": 32, "N": 32, "K": 16}
         inputs = random_inputs("GEMM-NN", sizes, seed=1)
-        got = tuned.run(inputs, alpha=2.0, beta=0.5)
+        got = tuned.run(alpha=2.0, beta=0.5, **inputs)
         want = reference("GEMM-NN", inputs, alpha=2.0, beta=0.5)
         np.testing.assert_allclose(got, want, rtol=3e-3, atol=3e-3)
 
@@ -59,7 +59,7 @@ class TestRun:
         tuned = gen.generate("TRSM-LL-N")
         sizes = {"M": 32, "N": 32}
         inputs = random_inputs("TRSM-LL-N", sizes, seed=2)
-        got = tuned.run(inputs)
+        got = tuned.run(**inputs)
         np.testing.assert_allclose(
             got, reference("TRSM-LL-N", inputs), rtol=3e-3, atol=3e-3
         )
@@ -82,7 +82,7 @@ class TestRun:
         dirty["A"] = inputs["A"] + np.triu(rng.standard_normal((32, 32)), 1).astype(
             np.float32
         )
-        got = tuned.run(dirty)  # must fall back to the unconditioned variant
+        got = tuned.run(**dirty)  # must fall back to the unconditioned variant
         np.testing.assert_allclose(
             got, reference("TRMM-LL-N", dirty), rtol=3e-3, atol=3e-3
         )
@@ -124,7 +124,7 @@ class TestFullTileRegime:
         tuned = gen.generate("GEMM-NN")
         sizes = {"M": 20, "N": 30, "K": 13}
         inputs = random_inputs("GEMM-NN", sizes, seed=6)
-        got = tuned.run(inputs)
+        got = tuned.run(**inputs)
         assert got.shape == (20, 30)
         np.testing.assert_allclose(
             got, reference("GEMM-NN", inputs), rtol=3e-3, atol=3e-3
@@ -136,7 +136,7 @@ class TestFullTileRegime:
         tuned = gen.generate("TRSM-LL-N")
         sizes = {"M": 21, "N": 19}
         inputs = random_inputs("TRSM-LL-N", sizes, seed=7)
-        got = tuned.run(inputs)
+        got = tuned.run(**inputs)
         np.testing.assert_allclose(
             got, reference("TRSM-LL-N", inputs), rtol=4e-3, atol=4e-3
         )
@@ -147,7 +147,7 @@ class TestFullTileRegime:
         tuned = gen.generate("GEMM-NN")
         bm, bn, kt = tuned.config["BM"], tuned.config["BN"], tuned.config["KT"]
         sizes = {"M": bm, "N": bn, "K": kt}
-        tuned.run(random_inputs("GEMM-NN", sizes, seed=0))
+        tuned.run(**random_inputs("GEMM-NN", sizes, seed=0))
 
     def test_missing_dim_symbol_is_clear_valueerror(self, gen):
         """Regression: a dim symbol absent from ``sizes`` was silently
@@ -163,4 +163,4 @@ class TestFullTileRegime:
         tuned = gen.generate("GEMM-NN")
         inputs = random_inputs("GEMM-NN", {"M": 16, "N": 16, "K": 8}, seed=8)
         with pytest.raises(ValueError, match="GEMM-NN.*K"):
-            tuned.run(inputs, sizes={"M": 16, "N": 16})
+            tuned.run(sizes={"M": 16, "N": 16}, **inputs)

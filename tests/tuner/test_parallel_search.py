@@ -10,7 +10,7 @@ import pytest
 
 from repro.blas3.routines import build_routine
 from repro.gpu import GTX_285
-from repro.tuner import LibraryGenerator, VariantSearch, resolve_jobs
+from repro.tuner import LibraryGenerator, TuningOptions, VariantSearch, resolve_jobs
 
 SMALL_SPACE = [
     {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
@@ -23,7 +23,7 @@ FAMILY_REPS = ["GEMM-TN", "SYMM-LL", "TRMM-LL-N", "TRSM-LL-N"]
 
 @pytest.fixture(scope="module")
 def gen():
-    return LibraryGenerator(GTX_285, space=SMALL_SPACE, jobs=1)
+    return LibraryGenerator(GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=1))
 
 
 class TestParallelDeterminism:
@@ -31,10 +31,10 @@ class TestParallelDeterminism:
     def test_same_winner_as_sequential(self, gen, routine):
         source = build_routine(routine)
         candidates = gen.candidates(routine)
-        seq = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=1).search(
+        seq = VariantSearch(GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=1)).search(
             routine, source, candidates
         )
-        par = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=2).search(
+        par = VariantSearch(GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=2)).search(
             routine, source, candidates
         )
         assert par.best.script is seq.best.script  # same candidate object
@@ -44,10 +44,10 @@ class TestParallelDeterminism:
     def test_full_score_list_identical(self, gen):
         source = build_routine("SYMM-LL")
         candidates = gen.candidates("SYMM-LL")
-        seq = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=1).search(
+        seq = VariantSearch(GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=1)).search(
             "SYMM-LL", source, candidates, keep_all=True
         )
-        par = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=2).search(
+        par = VariantSearch(GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=2)).search(
             "SYMM-LL", source, candidates, keep_all=True
         )
         assert len(seq.scores) == len(par.scores)
@@ -60,7 +60,7 @@ class TestParallelDeterminism:
     def test_search_level_jobs_override(self, gen):
         source = build_routine("GEMM-NN")
         candidates = gen.candidates("GEMM-NN")
-        searcher = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=1)
+        searcher = VariantSearch(GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=1))
         seq = searcher.search("GEMM-NN", source, candidates)
         par = searcher.search("GEMM-NN", source, candidates, jobs=2)
         assert par.best.config == seq.best.config
@@ -73,7 +73,7 @@ class TestParallelDeterminism:
 
         source = build_routine("GEMM-NN")
         candidates = gen.candidates("GEMM-NN")
-        par = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=2).search(
+        par = VariantSearch(GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=2)).search(
             "GEMM-NN", source, candidates
         )
         # the comp shipped back from the worker must be a usable kernel

@@ -5,14 +5,14 @@ import pytest
 
 from repro.blas3 import random_inputs, reference
 from repro.gpu import GTX_285
-from repro.tuner import LibraryGenerator, load_library, save_library
+from repro.tuner import LibraryGenerator, TuningOptions, load_library, save_library
 
 SMALL_SPACE = [{"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2}]
 
 
 @pytest.fixture(scope="module")
 def lib():
-    gen = LibraryGenerator(GTX_285, space=SMALL_SPACE)
+    gen = LibraryGenerator(GTX_285, options=TuningOptions(space=SMALL_SPACE))
     return gen.library(["GEMM-NN", "TRMM-LL-N", "TRSM-LL-N"])
 
 
@@ -30,7 +30,7 @@ class TestRoundtrip:
         again = load_library(path)
         sizes = {"M": 32, "N": 32, "K": 16}
         inputs = random_inputs("GEMM-NN", sizes, seed=7)
-        got = again["GEMM-NN"].run(inputs)
+        got = again["GEMM-NN"].run(**inputs)
         np.testing.assert_allclose(
             got, reference("GEMM-NN", inputs), rtol=3e-3, atol=3e-3
         )
@@ -71,7 +71,7 @@ class TestRoundtrip:
         from repro.gpu.arch import GTX_285 as base
 
         custom = dataclasses.replace(base, name="Custom GT999", num_sms=42)
-        gen = LibraryGenerator(custom, space=SMALL_SPACE)
+        gen = LibraryGenerator(custom, options=TuningOptions(space=SMALL_SPACE))
         lib = gen.library(["GEMM-NN"])
         path = tmp_path / "custom.json"
         save_library(lib, path)  # must not raise StopIteration

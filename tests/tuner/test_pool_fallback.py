@@ -21,7 +21,7 @@ import repro.tuner.search as search_mod
 from repro.blas3.routines import build_routine
 from repro.gpu import GTX_285
 from repro.telemetry import Telemetry
-from repro.tuner import LibraryGenerator, VariantSearch
+from repro.tuner import LibraryGenerator, TuningOptions, VariantSearch
 from repro.tuner.search import _is_pool_failure
 
 SMALL_SPACE = [
@@ -32,7 +32,7 @@ SMALL_SPACE = [
 
 @pytest.fixture(scope="module")
 def composed():
-    gen = LibraryGenerator(GTX_285, space=SMALL_SPACE, jobs=1)
+    gen = LibraryGenerator(GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=1))
     return build_routine("GEMM-NN"), gen.candidates("GEMM-NN")
 
 
@@ -51,7 +51,7 @@ class TestPoolFallback:
         source, candidates = composed
         telemetry = Telemetry()
         searcher = VariantSearch(
-            GTX_285, space=SMALL_SPACE, jobs=2, telemetry=telemetry
+            GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=2), telemetry=telemetry
         )
         monkeypatch.setattr(
             search_mod,
@@ -61,7 +61,7 @@ class TestPoolFallback:
         result = searcher.search("GEMM-NN", source, candidates)
 
         # the fallback still produced the right answer ...
-        seq = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=1).search(
+        seq = VariantSearch(GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=1)).search(
             "GEMM-NN", source, candidates
         )
         assert result.best.config == seq.best.config
@@ -76,7 +76,7 @@ class TestPoolFallback:
         source, candidates = composed
         telemetry = Telemetry()
         searcher = VariantSearch(
-            GTX_285, space=SMALL_SPACE, jobs=2, telemetry=telemetry
+            GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=2), telemetry=telemetry
         )
         monkeypatch.setattr(
             search_mod,
@@ -90,7 +90,7 @@ class TestPoolFallback:
 
     def test_programming_error_propagates(self, composed, monkeypatch):
         source, candidates = composed
-        searcher = VariantSearch(GTX_285, space=SMALL_SPACE, jobs=2)
+        searcher = VariantSearch(GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=2))
         monkeypatch.setattr(
             search_mod,
             "ProcessPoolExecutor",
@@ -104,7 +104,7 @@ class TestPoolFallback:
         source, candidates = composed
         telemetry = Telemetry()
         searcher = VariantSearch(
-            GTX_285, space=SMALL_SPACE, jobs=2, telemetry=telemetry
+            GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=2), telemetry=telemetry
         )
         searcher.search("GEMM-NN", source, candidates)
         assert searcher.last_pool_error is None

@@ -4,7 +4,7 @@ import pytest
 
 from repro.blas3 import build_routine
 from repro.gpu import FERMI_C2050, GEFORCE_9800, GTX_285
-from repro.tuner import CURATED_SPACE, DEFAULT_SPACE, VariantSearch, prune_space
+from repro.tuner import CURATED_SPACE, DEFAULT_SPACE, TuningOptions, VariantSearch, prune_space
 from repro.tuner.space import _structurally_valid
 
 
@@ -66,7 +66,10 @@ class TestSearch:
 
     def test_custom_space(self):
         search = VariantSearch(
-            GTX_285, space=[{"BM": 32, "BN": 16, "KT": 8, "TX": 16, "TY": 2}]
+            GTX_285,
+            options=TuningOptions(
+                space=[{"BM": 32, "BN": 16, "KT": 8, "TX": 16, "TY": 2}]
+            ),
         )
         source = build_routine("GEMM-NN")
         from repro.tuner import LibraryGenerator
