@@ -7,7 +7,6 @@ problems.
 
 import pytest
 
-from repro.gpu import GTX_285
 from repro.multigpu import MultiGPULibrary
 from repro.reporting import ascii_table, generator_for
 

@@ -1,16 +1,23 @@
 """Benchmark: per-stage wall time of the generate pipeline, from the trace.
 
-Runs a cold and a warm ``generate()`` per representative routine with a
-:class:`~repro.telemetry.Telemetry` attached, aggregates each trace into
-per-stage totals (compose / search / verify / cache probes), prints the
-table, and writes the machine-readable result to ``BENCH_pipeline.json``
-at the repo root so successive runs can be diffed.
+Runs, per representative routine:
+
+* a cold ``generate()`` with the JIT forced off (``jit.disabled()``) —
+  the PR 4-era interpreter-bound pipeline, for comparison;
+* a cold ``generate()`` on the compiled path (fresh cache dir); and
+* a warm ``generate()`` (pure cache hit);
+
+aggregates each trace into per-stage totals (compose / search / verify /
+cache probes), prints the interpreter-vs-compiled table, and writes the
+machine-readable result to ``BENCH_pipeline.json`` at the repo root so
+successive runs can be diffed.
 """
 
 import json
 import time
 from pathlib import Path
 
+from repro import jit
 from repro.gpu import GTX_285
 from repro.telemetry import Telemetry, aggregate_stages
 from repro.tuner import LibraryGenerator, TuningOptions
@@ -38,6 +45,12 @@ def test_bench_pipeline_stages(tmp_path):
     record = {"arch": "GTX 285", "routines": {}}
     lines = []
     for routine in ROUTINES:
+        # Interpreter-only cold run in its own cache dir: same pipeline,
+        # JIT off, so the verify column is directly comparable.
+        with jit.disabled():
+            interp_s, interp_doc, interp_stages = _traced_generate(
+                tmp_path / "interp", routine
+            )
         cold_s, cold_doc, cold_stages = _traced_generate(tmp_path, routine)
         warm_s, warm_doc, warm_stages = _traced_generate(tmp_path, routine)
 
@@ -46,18 +59,34 @@ def test_bench_pipeline_stages(tmp_path):
         assert "search" not in warm_stages
         assert cold_doc["counters"].get("cache.routine.miss") == 1
         assert warm_doc["counters"].get("cache.routine.hit") == 1
+        # the compiled path must actually have compiled something...
+        assert cold_doc["counters"].get("jit.compile", 0) >= 1
+        # ...and the interpreter run must not have
+        assert interp_doc["counters"].get("jit.compile", 0) == 0
+        assert interp_doc["counters"].get("jit.fallback", 0) >= 1
 
         record["routines"][routine] = {
             "cold_wall_s": cold_s,
+            "cold_wall_interp_s": interp_s,
             "warm_wall_s": warm_s,
             "cold_stages": cold_stages,
+            "cold_stages_interp": interp_stages,
             "warm_stages": warm_stages,
             "cold_counters": cold_doc["counters"],
         }
-        lines.append(f"{routine} (cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms)")
+        lines.append(
+            f"{routine} (cold {cold_s * 1e3:.1f} ms, interp-cold "
+            f"{interp_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms)"
+        )
         for name, agg in cold_stages.items():
+            interp_agg = interp_stages.get(name)
+            vs = (
+                f"  (interp {interp_agg['total_s'] * 1e3:8.1f} ms)"
+                if interp_agg
+                else ""
+            )
             lines.append(
-                f"  {name:14s} x{agg['count']:<3d} {agg['total_s'] * 1e3:8.1f} ms"
+                f"  {name:14s} x{agg['count']:<3d} {agg['total_s'] * 1e3:8.1f} ms{vs}"
             )
 
     BENCH_PATH.write_text(json.dumps(record, indent=1))

@@ -55,6 +55,7 @@ from .gpu import (
     occupancy,
 )
 from .ir import Array, Computation, build_computation, interpret, validate, var
+from .jit import compile_computation, execute as jit_execute
 from .multigpu import MultiGPULibrary, MultiGPUTiming
 from .oa import OAFramework
 from .serve import BlasService, ServeOptions
@@ -104,11 +105,13 @@ __all__ = [
     "VariantSearch",
     "build_computation",
     "build_routine",
+    "compile_computation",
     "cublas_gflops",
     "cublas_kernel",
     "emit_cuda",
     "get_spec",
     "interpret",
+    "jit_execute",
     "magma_gflops",
     "magma_kernel",
     "magma_supports",

@@ -18,8 +18,8 @@ matrix as is".  Conditions make the generated code multi-versioned (e.g.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..epod.script import Invocation
 

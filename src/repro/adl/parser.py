@@ -14,9 +14,9 @@ may continue on following lines until the next ``|`` or end of adaptor.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from ..epod.script import Invocation, ScriptError, parse_script
+from ..epod.script import ScriptError, parse_script
 from .adaptor import Adaptor, AdaptorRule, Condition
 
 __all__ = ["parse_adaptor", "parse_adaptors", "AdlError"]

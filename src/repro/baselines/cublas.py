@@ -30,12 +30,12 @@ emerge rather than being tabulated:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 from ..blas3.naming import parse_variant
 from ..blas3.routines import build_routine, get_spec
-from ..epod.script import EpodScript, parse_script
-from ..epod.translator import EpodTranslator, TranslationResult
+from ..epod.script import parse_script
+from ..epod.translator import EpodTranslator
 from ..gpu.arch import GPUArch
 from ..gpu.simulator import RunResult, SimulatedGPU
 from ..ir.ast import Computation

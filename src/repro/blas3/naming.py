@@ -13,7 +13,7 @@ families and their option axes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 __all__ = ["VariantName", "ALL_VARIANTS", "parse_variant", "FAMILIES"]
 

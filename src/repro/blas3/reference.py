@@ -8,11 +8,11 @@ kernels and the CUBLAS/MAGMA-like baselines.  Full BLAS semantics —
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 import numpy as np
 
-from .naming import VariantName, parse_variant
+from .naming import parse_variant
 
 __all__ = ["reference", "densify_symmetric", "densify_triangular", "random_inputs"]
 

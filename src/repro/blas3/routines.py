@@ -18,8 +18,8 @@ Conventions (documented deviations in DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..ir.ast import Array, Computation
 from ..ir.builder import build_computation

@@ -21,11 +21,10 @@ digit (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from ..ir.affine import AffineExpr, Bound, MaxExpr, MinExpr
+from ..ir.affine import AffineExpr, Bound, MinExpr
 from ..ir.ast import (
     And,
     Assign,
@@ -38,7 +37,6 @@ from ..ir.ast import (
     Loop,
     Node,
     Stage,
-    THREAD_DIMS,
 )
 
 __all__ = ["AccessModel", "PhaseModel", "KernelModel", "analyze_stage", "analyze_computation"]

@@ -13,10 +13,10 @@ to both A and B): each adaptor's rules multiply the candidate set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..adl.adaptor import Adaptor, AdaptorRule, Condition
+from ..adl.adaptor import Adaptor
 from ..epod.script import EpodScript, Invocation
 from ..ir.ast import Computation
 from .allocator import allocate
@@ -77,8 +77,9 @@ class ComposeOutcome:
 class Composer:
     """End-to-end composer: enumerate, filter, return legal scripts."""
 
-    def __init__(self, params: Optional[Dict[str, int]] = None):
+    def __init__(self, params: Optional[Dict[str, int]] = None, telemetry=None):
         self.params = dict(params or {})
+        self.telemetry = telemetry
 
     def compose(
         self,
@@ -89,6 +90,10 @@ class Composer:
     ) -> ComposeOutcome:
         candidates = compose_candidates(base_script, adaptations, name=source.name)
         report = filter_candidates(
-            candidates, source, self.params, check_semantics=check_semantics
+            candidates,
+            source,
+            self.params,
+            check_semantics=check_semantics,
+            telemetry=self.telemetry,
         )
         return ComposeOutcome(candidates, report)

@@ -50,6 +50,7 @@ def filter_candidates(
     source: Computation,
     params: Optional[Dict[str, int]] = None,
     check_semantics: bool = True,
+    telemetry=None,
 ) -> FilterReport:
     """Run the filter over mixed candidates.
 
@@ -75,7 +76,7 @@ def filter_candidates(
         filtered = FilteredCandidate(candidate, result)
         report.semi_output.append(filtered)
         if check_semantics:
-            verdict = check_equivalence(result.comp, source, params)
+            verdict = check_equivalence(result.comp, source, params, telemetry=telemetry)
             if not verdict.ok:
                 report.rejected.append((candidate, verdict.reason))
                 continue

@@ -7,8 +7,8 @@ as a new named :class:`~repro.epod.script.EpodScript`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 from ..adl.adaptor import Condition
 from ..epod.script import EpodScript, Invocation

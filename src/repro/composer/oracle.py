@@ -14,13 +14,13 @@ legal iff the transformed computation
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
 from ..ir.ast import Computation, Recip, BinOp
-from ..ir.interpret import interpret
 from ..ir.visitors import iter_statements
+from ..jit import execute as jit_execute
 
 __all__ = ["make_inputs", "output_arrays", "check_equivalence", "oracle_sizes"]
 
@@ -28,21 +28,23 @@ _ATOL = 2e-3
 _RTOL = 2e-3
 
 
-def oracle_sizes(comp: Computation, params: Mapping[str, int]) -> Dict[str, int]:
-    """Problem sizes for validation: two tiles per partitioned dimension
-    (small enough for the interpreter, large enough to exercise
-    inter-block and inter-tile behaviour)."""
+def oracle_sizes(
+    comp: Computation, params: Mapping[str, int], tiles: int = 2
+) -> Dict[str, int]:
+    """Problem sizes for validation: ``tiles`` tiles per partitioned
+    dimension (large enough to exercise inter-block and inter-tile
+    behaviour; the compiled execution path keeps bigger sweeps cheap)."""
     bm = params.get("BM", 64)
     bn = params.get("BN", 16)
     kt = params.get("KT", 16)
     sizes = {}
     for symbol in comp.dim_symbols:
         if symbol == "N":
-            sizes[symbol] = 2 * bn
+            sizes[symbol] = tiles * bn
         elif symbol == "K":
-            sizes[symbol] = max(2 * kt, 32)
+            sizes[symbol] = max(tiles * kt, 32)
         else:
-            sizes[symbol] = 2 * bm
+            sizes[symbol] = tiles * bm
     return sizes
 
 
@@ -112,15 +114,23 @@ def check_equivalence(
     params: Mapping[str, int],
     seed: int = 0,
     sizes: Optional[Mapping[str, int]] = None,
+    tiles: int = 2,
+    telemetry=None,
 ) -> EquivalenceReport:
-    """Functional + race check of ``candidate`` against ``source``."""
-    sizes = dict(sizes or oracle_sizes(candidate, params))
+    """Functional + race check of ``candidate`` against ``source``.
+
+    Both the reference and the candidate run through the JIT registry
+    (:func:`repro.jit.execute`), which is bit-identical to the
+    interpreter, so verdicts are unchanged — just cheap enough that
+    callers can afford ``tiles > 2`` sweeps.
+    """
+    sizes = dict(sizes or oracle_sizes(candidate, params, tiles=tiles))
     inputs = make_inputs(source, sizes, seed=seed)
     outputs = output_arrays(source)
     if not outputs:
         return EquivalenceReport(False, "source has no outputs")
     try:
-        ref = interpret(source, sizes, inputs)
+        ref = jit_execute(source, sizes, inputs, telemetry=telemetry)
     except Exception as exc:  # pragma: no cover - source must be sound
         return EquivalenceReport(False, f"source failed: {exc}")
 
@@ -136,8 +146,13 @@ def check_equivalence(
         # flag settings must agree with the reference.
         for order in ("asc", "desc"):
             try:
-                got = interpret(
-                    candidate, sizes, inputs, flags=flags, thread_order=order
+                got = jit_execute(
+                    candidate,
+                    sizes,
+                    inputs,
+                    flags=flags,
+                    thread_order=order,
+                    telemetry=telemetry,
                 )
             except Exception as exc:
                 return EquivalenceReport(False, f"execution failed: {exc}")

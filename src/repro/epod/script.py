@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 __all__ = ["Invocation", "EpodScript", "parse_script", "ScriptError"]
 

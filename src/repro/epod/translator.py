@@ -21,11 +21,11 @@ Two failure disciplines:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..ir.ast import Computation
 from ..ir.validate import validate
-from ..transforms.base import TransformError, TransformFailure
+from ..transforms.base import TransformFailure
 from ..transforms.registry import get_transform
 from .script import EpodScript, Invocation, ScriptError
 

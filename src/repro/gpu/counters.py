@@ -21,8 +21,8 @@ counts at warp granularity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, Sequence
 
 from ..codegen.analysis import AccessModel, KernelModel, LARGE_STRIDE
 from .arch import GPUArch

@@ -22,19 +22,11 @@ want the stricter check.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional
 
 import numpy as np
 
-from ..ir.ast import (
-    Assign,
-    Barrier,
-    Computation,
-    Guard,
-    Loop,
-    Node,
-    THREAD_DIMS,
-)
+from ..ir.ast import Assign, Barrier, Computation, Guard, Loop, Node
 from ..ir.interpret import _eval_predicate, allocate_arrays, evaluate_expr
 
 __all__ = ["run_lockstep", "lockstep_matches_sequential"]
@@ -171,9 +163,9 @@ def lockstep_matches_sequential(
     atol: float = 2e-3,
 ) -> bool:
     """The strict schedule-independence probe: sequential == lockstep."""
-    from ..ir.interpret import interpret
+    from ..jit import execute as jit_execute
 
-    seq = interpret(comp, sizes, inputs)
+    seq = jit_execute(comp, sizes, inputs)
     lock = run_lockstep(comp, sizes, inputs)
     return all(
         np.allclose(lock[name], seq[name], rtol=rtol, atol=atol) for name in outputs

@@ -13,14 +13,14 @@ none, so :class:`SimulatedGPU` plays that role (see DESIGN.md §2):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
 from ..codegen.analysis import KernelModel, analyze_computation
 from ..ir.ast import Computation
-from ..ir.interpret import interpret
+from ..jit import execute as jit_execute
 from .arch import GPUArch
 from .counters import ProfileCounters, count_profile
 from .timing import LaunchTiming, estimate_time
@@ -56,8 +56,9 @@ class RunResult:
 class SimulatedGPU:
     """A GPU platform that executes and profiles transformed computations."""
 
-    def __init__(self, arch: GPUArch):
+    def __init__(self, arch: GPUArch, telemetry=None):
         self.arch = arch
+        self.telemetry = telemetry
 
     def profile(
         self,
@@ -87,8 +88,15 @@ class SimulatedGPU:
         flags: Optional[Mapping[str, bool]] = None,
         nominal_flops: float = 0.0,
     ) -> RunResult:
-        """Functional execution plus analytic profile."""
-        outputs = interpret(comp, sizes, inputs, scalars=scalars, flags=flags)
+        """Functional execution plus analytic profile.
+
+        Execution goes through the compiled-kernel registry
+        (:func:`repro.jit.execute`) — bit-identical to the interpreter,
+        with the interpreter as automatic fallback.
+        """
+        outputs = jit_execute(
+            comp, sizes, inputs, scalars=scalars, flags=flags, telemetry=self.telemetry
+        )
         result = self.profile(comp, sizes, nominal_flops=nominal_flops)
         result.outputs = outputs
         return result

@@ -25,7 +25,7 @@ tiled kernels carry that ILP, modeled via the per-thread work factor).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from ..codegen.analysis import KernelModel
 from .arch import GPUArch

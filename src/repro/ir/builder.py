@@ -18,9 +18,9 @@ and bounds must be affine.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from .affine import AffineExpr, aff, const, var
+from .affine import AffineExpr, const, var
 from .ast import (
     Array,
     ArrayRef,

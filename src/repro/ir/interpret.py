@@ -19,9 +19,8 @@ from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
-from .affine import Bound
 from .ast import (
-    Array,
+    THREAD_DIMS,
     ArrayRef,
     Assign,
     Barrier,
@@ -39,10 +38,9 @@ from .ast import (
     Predicate,
     Recip,
     ScalarRef,
-    Stage,
 )
 
-__all__ = ["interpret", "allocate_arrays", "evaluate_expr"]
+__all__ = ["interpret", "allocate_arrays", "evaluate_expr", "run_stages"]
 
 
 _DTYPES = {"float32": np.float32, "float64": np.float64}
@@ -100,7 +98,9 @@ def evaluate_expr(
             return left - right
         if expr.op == "*":
             return left * right
-        return left / right
+        if expr.op == "/":
+            return left / right
+        raise ValueError(f"unknown binary operator {expr.op!r}")
     if isinstance(expr, Neg):
         return -evaluate_expr(expr.operand, env, buffers, scalars)
     if isinstance(expr, Recip):
@@ -137,14 +137,14 @@ def _execute(
                 buf[idx] = value
             elif node.op == "+=":
                 buf[idx] += value
-            else:
+            elif node.op == "-=":
                 buf[idx] -= value
+            else:
+                raise ValueError(f"unknown assignment operator {node.op!r}")
         elif isinstance(node, Loop):
             lo = node.lower.evaluate(env)
             hi = node.upper.evaluate(env)
             values = range(lo, hi, node.step)
-            from .ast import THREAD_DIMS
-
             if thread_order == "desc" and node.mapped_to in THREAD_DIMS:
                 values = reversed(values)
             for value in values:
@@ -160,6 +160,26 @@ def _execute(
             continue
         else:  # pragma: no cover - defensive
             raise TypeError(f"cannot execute node {node!r}")
+
+
+def run_stages(
+    comp: Computation,
+    buffers: Dict[str, np.ndarray],
+    sizes: Mapping[str, int],
+    scalars: Mapping[str, float],
+    flags: Mapping[str, bool],
+    thread_order: str = "asc",
+) -> None:
+    """Execute every stage of ``comp`` against pre-allocated ``buffers``.
+
+    This is the interpreter's stage-runner with allocation and defaulting
+    factored out, so callers that manage buffers themselves (notably the
+    JIT registry's fallback path in :mod:`repro.jit`) share one execution
+    loop with :func:`interpret`.
+    """
+    env: Dict[str, int] = dict(sizes)
+    for stage in comp.stages:
+        _execute(stage.body, env, buffers, scalars, flags, thread_order)
 
 
 def interpret(
@@ -184,7 +204,5 @@ def interpret(
     if flags:
         merged_flags.update(flags)
     buffers = allocate_arrays(comp, sizes, inputs)
-    env: Dict[str, int] = dict(sizes)
-    for stage in comp.stages:
-        _execute(stage.body, env, buffers, scalars, merged_flags, thread_order)
+    run_stages(comp, buffers, sizes, scalars, merged_flags, thread_order)
     return buffers

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from .affine import AffineExpr, MaxExpr, MinExpr
+from .affine import MaxExpr, MinExpr
 from .ast import (
     ArrayRef,
     Assign,

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
-from .ast import Assign, Barrier, Guard, Loop, Node, Stage
+from .ast import Assign, Guard, Loop, Node, Stage
 
 __all__ = [
     "walk",

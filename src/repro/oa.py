@@ -34,7 +34,6 @@ from .blas3.naming import ALL_VARIANTS
 from .blas3.routines import get_spec
 from .composer.compose import ComposeOutcome, Composer
 from .composer.generator import ComposedScript
-from .epod.script import EpodScript, parse_script
 from .gpu.arch import GPUArch, GTX_285
 from .gpu.simulator import SimulatedGPU
 from .telemetry import Telemetry, ensure_telemetry

@@ -7,13 +7,12 @@ search runs once per (architecture, routine).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.cublas import cublas_kernel
 from ..baselines.magma import magma_kernel, magma_supports
 from ..blas3.naming import ALL_VARIANTS
-from ..blas3.routines import get_spec
 from ..gpu.arch import GPUArch
 from ..gpu.counters import ProfileCounters
 from ..tuner.library import LibraryGenerator, TunedRoutine

@@ -7,7 +7,7 @@ prints next to the paper's reference numbers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Sequence, Tuple
 
 __all__ = ["ascii_table", "bar", "bar_chart", "series_chart"]
 

@@ -16,7 +16,7 @@ on-disk tuning cache at plan-miss cost, not search cost).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Optional, Tuple
 
 from ..telemetry import Telemetry, ensure_telemetry

@@ -10,8 +10,8 @@ one-shot future the submitting thread blocks on.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

@@ -20,6 +20,12 @@ cooperating mechanisms:
   queue depth, batch size, plan hit/miss/evict, fallbacks and errors
   (glossary in the README's Serving section).
 
+Launch execution flows through the compiled-kernel path: each tuned
+plan's :class:`~repro.tuner.library.TunedRoutine` carries the service
+telemetry into :class:`~repro.gpu.simulator.SimulatedGPU`, whose runs go
+through :func:`repro.jit.execute` — so serving traffic shows up in the
+``jit.*`` counters and pays interpreter cost only on fallback shapes.
+
 Two execution modes share the same dispatch path:
 
 * **threaded** (``service.start()`` or the context manager): a single

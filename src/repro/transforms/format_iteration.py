@@ -25,8 +25,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..ir.affine import AffineExpr, aff, var
-from ..ir.ast import Assign, Computation, Guard, Loop, Node, fresh_label
+from ..ir.affine import AffineExpr, var
+from ..ir.ast import Assign, Computation, Loop, Node, fresh_label
 from ..ir.visitors import walk_with_context
 from .base import (
     POOL_POLYHEDRAL,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from ..ir.affine import aff, var
+from ..ir.affine import var
 from ..ir.ast import (
     Array,
     ArrayRef,
@@ -36,10 +36,9 @@ from .base import (
     POOL_POLYHEDRAL,
     Transform,
     TransformError,
-    TransformFailure,
     TransformResult,
 )
-from .memory import ALLOC_MODES, _rewrite_refs_in_expr
+from .memory import _rewrite_refs_in_expr
 from .util import require
 
 __all__ = ["GMMap", "derived_names"]

@@ -13,13 +13,7 @@ from ..ir.affine import AffineExpr
 from ..ir.ast import Assign, Computation, Loop, Node, fresh_label
 from ..ir.dependence import fusion_legal, interchange_legal
 from ..ir.visitors import find_loop, find_loop_path
-from .base import (
-    POOL_POLYHEDRAL,
-    Transform,
-    TransformError,
-    TransformFailure,
-    TransformResult,
-)
+from .base import POOL_POLYHEDRAL, Transform, TransformError, TransformResult
 from .util import require
 
 __all__ = ["LoopInterchange", "LoopFission", "LoopFusion"]

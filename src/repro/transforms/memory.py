@@ -42,7 +42,7 @@ from .base import (
     TransformResult,
 )
 from .footprint import VarRange, collect_var_ranges, split_base_span
-from .util import KernelStructure, make_phase, phase_kind, phase_thread_vars, require
+from .util import KernelStructure, make_phase, phase_thread_vars, require
 
 __all__ = ["SMAlloc", "RegAlloc", "SMEM_BANKS", "ALLOC_MODES"]
 

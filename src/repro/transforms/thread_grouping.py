@@ -24,20 +24,13 @@ regime; sizes 512–4096 with power-of-two tiles).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
-from ..ir.affine import aff, var
+from ..ir.affine import var
 from ..ir.ast import Assign, Computation, Guard, Loop, Node, fresh_label
 from ..ir.dependence import carries_dependence
 from ..ir.visitors import find_loop_path
-from .base import (
-    LOC_ANY,
-    POOL_POLYHEDRAL,
-    Transform,
-    TransformError,
-    TransformFailure,
-    TransformResult,
-)
+from .base import LOC_ANY, POOL_POLYHEDRAL, Transform, TransformError, TransformResult
 from .util import default_params, make_phase, require
 
 __all__ = ["ThreadGrouping"]

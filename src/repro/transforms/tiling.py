@@ -16,9 +16,9 @@ the tile loop encloses only the reduction it names.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from ..ir.affine import AffineExpr, MaxExpr, MinExpr, aff, bound_min, var
+from ..ir.affine import AffineExpr, MaxExpr, MinExpr, aff, bound_min
 from ..ir.ast import Barrier, Guard, Loop, Node, fresh_label
 from ..ir.visitors import find_loop
 from .base import (

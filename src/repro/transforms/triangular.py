@@ -37,7 +37,6 @@ from ..ir.ast import (
     Barrier,
     Cmp,
     Computation,
-    Flag,
     Guard,
     Loop,
     Node,
@@ -53,7 +52,7 @@ from .base import (
 )
 from .footprint import VarRange, split_base_span
 from .gm_map import derived_names
-from .util import KernelStructure, make_phase, phase_kind, require
+from .util import KernelStructure, make_phase, require
 
 __all__ = ["PeelTriangular", "PaddingTriangular", "BindingTriangular", "blank_zero_flag"]
 

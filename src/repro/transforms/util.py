@@ -21,17 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..ir.affine import AffineExpr, aff, var
-from ..ir.ast import (
-    Assign,
-    Barrier,
-    Computation,
-    Guard,
-    Loop,
-    Node,
-    Stage,
-    fresh_label,
-)
+from ..ir.ast import Guard, Loop, Node, Stage, fresh_label
 from .base import TransformError, TransformFailure
 
 __all__ = [

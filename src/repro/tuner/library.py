@@ -12,7 +12,6 @@ and can emit their CUDA source.
 from __future__ import annotations
 
 import hashlib
-import math
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -22,7 +21,6 @@ import numpy as np
 
 from ..adl.builtin import BUILTIN_ADAPTORS
 from ..blas3.naming import ALL_VARIANTS
-from ..blas3.reference import reference
 from ..blas3.routines import (
     BASE_GEMM_SCRIPT,
     RoutineSpec,
@@ -40,7 +38,6 @@ from ..gpu.arch import GPUArch
 from ..gpu.simulator import RunResult, SimulatedGPU
 from ..ir.ast import Computation
 from ..telemetry import Telemetry, ensure_telemetry
-from ..transforms.triangular import blank_zero_flag
 from .options import TuningOptions, _legacy_knobs, resolve_options
 from .search import CandidateScore, SearchResult, VariantSearch
 from .space import Config
@@ -63,6 +60,8 @@ class TunedRoutine:
     search: Optional[SearchResult] = None
     #: unconditioned fallback for conditioned (padded) variants
     fallback: Optional["TunedRoutine"] = None
+    #: runtime telemetry sink (not persisted; reattached on cache load)
+    telemetry: Optional[Telemetry] = field(default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:
@@ -73,7 +72,7 @@ class TunedRoutine:
         return self.script.conditions
 
     def gflops(self, n: int, gpu: Optional[SimulatedGPU] = None) -> float:
-        gpu = gpu or SimulatedGPU(self.arch)
+        gpu = gpu or SimulatedGPU(self.arch, telemetry=self.telemetry)
         sizes = self.spec.make_sizes(n)
         run = gpu.profile(self.comp, sizes, nominal_flops=self.spec.nominal_flops(sizes))
         return run.gflops
@@ -170,7 +169,7 @@ class TunedRoutine:
             # exact for the multiply families; solves pad the triangular
             # matrix with an identity block.
             return self._run_padded(inputs, sizes, alpha=alpha, beta=beta)
-        gpu = SimulatedGPU(self.arch)
+        gpu = SimulatedGPU(self.arch, telemetry=self.telemetry)
         kernel_inputs = dict(inputs)
         out_name = self.spec.output
         if self.spec.variant.family == "TRSM":
@@ -259,7 +258,11 @@ class LibraryGenerator:
         tune_size: Optional[int] = None,
         space: Optional[Sequence[Config]] = None,
         full_space: bool = False,
-        verify_size: int = 2,
+        # Tiles per partitioned dimension in the verification sweep.  The
+        # compiled execution path (repro.jit) made verify cheap enough to
+        # afford 3 tiles by default — covering interior/edge/interior
+        # block interactions the old 2-tile sweep could not see.
+        verify_size: int = 3,
         check_candidates: bool = False,
         jobs: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
@@ -347,7 +350,12 @@ class LibraryGenerator:
         raw = compose_candidates(self.base_script_for(spec), adaptations, name=name)
         if not self.check_candidates:
             return raw
-        report = filter_candidates(raw, source, params={"BM": 16, "BN": 16, "KT": 4, "TX": 8, "TY": 4})
+        report = filter_candidates(
+            raw,
+            source,
+            params={"BM": 16, "BN": 16, "KT": 4, "TX": 8, "TY": 4},
+            telemetry=self.telemetry,
+        )
         return [fc.candidate for fc in report.accepted]
 
     # ------------------------------------------------------------------
@@ -368,6 +376,9 @@ class LibraryGenerator:
                     cached = self.disk_cache.load_routine(disk_key, key, self.arch)
                 if cached is not None:
                     sp.tags["outcome"] = "cache-hit"
+                    cached.telemetry = self.telemetry
+                    if cached.fallback is not None:
+                        cached.fallback.telemetry = self.telemetry
                     self._cache[key] = cached
                     return cached
             spec = get_spec(name)
@@ -449,11 +460,20 @@ class LibraryGenerator:
             if small is None:
                 ok = False
             elif small.applied_key == score.applied_key:
-                ok = check_equivalence(small.comp, source, cfg).ok
+                ok = check_equivalence(
+                    small.comp,
+                    source,
+                    cfg,
+                    tiles=self.verify_size,
+                    telemetry=self.telemetry,
+                ).ok
             else:
                 # The sequence degenerates differently at this tile size:
-                # verify the actual kernel (slower path).
-                ok = check_equivalence(score.comp, source, score.config).ok
+                # verify the actual kernel (slower path, so stay at the
+                # minimal 2-tile sweep — score.config tiles can be large).
+                ok = check_equivalence(
+                    score.comp, source, score.config, telemetry=self.telemetry
+                ).ok
             sp.tags["ok"] = ok
         self.telemetry.incr("verify.pass" if ok else "verify.fail")
         self._verify_cache[cache_key] = ok
@@ -480,6 +500,7 @@ class LibraryGenerator:
                     tuned_gflops=score.gflops,
                     applied_key=score.applied_key,
                     search=result,
+                    telemetry=self.telemetry,
                 )
         raise RuntimeError(
             f"no candidate for {spec.name} on {self.arch.name} survived verification"
@@ -502,6 +523,7 @@ class LibraryGenerator:
                     comp=score.comp,
                     tuned_gflops=score.gflops,
                     applied_key=score.applied_key,
+                    telemetry=self.telemetry,
                 )
         return None
 

@@ -26,7 +26,7 @@ import dataclasses
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
 from .space import Config
 

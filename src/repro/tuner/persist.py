@@ -14,7 +14,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Union
 
 from ..adl.adaptor import Condition
 from ..blas3.routines import build_routine, get_spec

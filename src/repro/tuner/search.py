@@ -31,7 +31,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..composer.generator import ComposedScript
-from ..epod.script import EpodScript
 from ..epod.translator import EpodTranslator
 from ..gpu.arch import GPUArch
 from ..gpu.simulator import RunResult, SimulatedGPU

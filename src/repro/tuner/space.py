@@ -10,7 +10,7 @@ architecture.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..gpu.arch import GPUArch
 from ..gpu.occupancy import occupancy

@@ -9,7 +9,6 @@ from repro.adl import (
     ADAPTOR_TRIANGULAR,
     AdlError,
     BUILTIN_ADAPTORS,
-    Condition,
     parse_adaptor,
     parse_adaptors,
 )

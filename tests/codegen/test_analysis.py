@@ -3,7 +3,7 @@
 import pytest
 
 from repro.blas3 import BASE_GEMM_SCRIPT, build_routine
-from repro.codegen import LARGE_STRIDE, analyze_computation, analyze_stage
+from repro.codegen import LARGE_STRIDE, analyze_computation
 from repro.epod import parse_script, translate
 
 CFG = {"BM": 64, "BN": 16, "KT": 16, "TX": 64, "TY": 1}

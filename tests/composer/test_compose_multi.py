@@ -1,9 +1,8 @@
 """Composer tests for multi-adaptor composition (GEMM-TT, TRMM-T forms)."""
 
-import pytest
 
-from repro.adl import ADAPTOR_TRANSPOSE, ADAPTOR_TRIANGULAR, BUILTIN_ADAPTORS
-from repro.blas3 import BASE_GEMM_SCRIPT, build_routine
+from repro.adl import ADAPTOR_TRANSPOSE, ADAPTOR_TRIANGULAR
+from repro.blas3 import BASE_GEMM_SCRIPT
 from repro.composer import compose_candidates
 from repro.epod import parse_script
 

@@ -10,7 +10,7 @@ import pytest
 
 from repro.adl import ADAPTOR_TRIANGULAR
 from repro.blas3 import BASE_GEMM_SCRIPT, build_routine
-from repro.composer import Composer, compose_candidates
+from repro.composer import Composer
 from repro.epod import parse_script
 
 PARAMS = {"BM": 8, "BN": 8, "KT": 4, "TX": 4, "TY": 2}

@@ -1,7 +1,6 @@
 """Tests for the filter's functional + race oracle."""
 
 import numpy as np
-import pytest
 
 from repro.blas3 import build_routine
 from repro.composer import check_equivalence, make_inputs, oracle_sizes, output_arrays

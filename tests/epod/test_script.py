@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.epod import EpodScript, Invocation, ScriptError, parse_script
+from repro.epod import Invocation, ScriptError, parse_script
 
 FIG3_SCRIPT = """
 (Lii, Ljj) = thread_grouping((Li, Lj));

@@ -1,7 +1,6 @@
 """Tests for the SIMT-lockstep executor (schedule-independence probe)."""
 
 import numpy as np
-import pytest
 
 from repro.blas3 import BASE_GEMM_SCRIPT, build_routine, random_inputs, reference
 from repro.epod import parse_script, translate

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.blas3 import BASE_GEMM_SCRIPT, build_routine, get_spec, random_inputs, reference
+from repro.blas3 import BASE_GEMM_SCRIPT, build_routine, random_inputs, reference
 from repro.epod import parse_script, translate
 from repro.gpu import GTX_285, SimulatedGPU
 

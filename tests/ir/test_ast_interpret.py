@@ -17,7 +17,6 @@ from repro.ir import (
     Flag,
     Guard,
     Loop,
-    ScalarRef,
     Stage,
     ValidationError,
     allocate_arrays,

@@ -1,12 +1,9 @@
 """Tests for the PolyDeps-like dependence analysis."""
 
-import pytest
 
 from repro.ir import (
-    Array,
     ArrayRef,
     analyze_dependences,
-    build_computation,
     carries_dependence,
     fusion_legal,
     gcd_test,

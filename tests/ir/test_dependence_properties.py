@@ -1,6 +1,5 @@
 """Property-based tests for the dependence analysis."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ir import (

@@ -1,0 +1,213 @@
+"""Fallback contract, cache-key stability and telemetry counters."""
+
+import numpy as np
+import pytest
+
+from repro import jit
+from repro.blas3 import BASE_GEMM_SCRIPT, build_routine, random_inputs
+from repro.epod import parse_script, translate
+from repro.ir.ast import Assign, BinOp
+from repro.ir.interpret import interpret
+from repro.ir.visitors import iter_statements
+from repro.telemetry import Telemetry
+
+PARAMS = {"BM": 8, "BN": 8, "KT": 4, "TX": 4, "TY": 2}
+
+
+def gemm_comp():
+    return translate(
+        build_routine("GEMM-NN"), parse_script(BASE_GEMM_SCRIPT), params=PARAMS,
+        mode="filter",
+    ).comp
+
+
+def small_sizes(comp, n=16):
+    sizes = {"M": n, "N": n}
+    if "K" in comp.dim_symbols:
+        sizes["K"] = n
+    return sizes
+
+
+class _AlienNode:
+    """A node shape the compiler has never heard of."""
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint / cache-key stability
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_stable_across_clone():
+    comp = gemm_comp()
+    # clone() re-labels every loop through the global counter; the
+    # fingerprint must not care, or no two translations would ever share
+    # a compiled kernel.
+    assert jit.computation_fingerprint(comp) == jit.computation_fingerprint(
+        comp.clone()
+    )
+
+
+def test_fingerprint_stable_across_retranslation():
+    assert jit.computation_fingerprint(gemm_comp()) == jit.computation_fingerprint(
+        gemm_comp()
+    )
+
+
+def test_fingerprint_distinguishes_different_kernels():
+    gemm = gemm_comp()
+    trmm = translate(
+        build_routine("TRMM-LL-N"),
+        parse_script(
+            """
+            (Lii, Ljj) = thread_grouping((Li, Lj));
+            (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+            SM_alloc(B, Transpose);
+            """
+        ),
+        params=PARAMS,
+        mode="filter",
+    ).comp
+    assert jit.computation_fingerprint(gemm) != jit.computation_fingerprint(trmm)
+
+
+def test_cache_hits_across_equivalent_computations():
+    jit.clear_cache()
+    comp = gemm_comp()
+    telemetry = Telemetry()
+    k1 = jit.compile_computation(comp, telemetry=telemetry)
+    k2 = jit.compile_computation(comp.clone(), telemetry=telemetry)
+    assert k1 is k2
+    counters = telemetry.document()["counters"]
+    assert counters.get("jit.compile") == 1
+    assert counters.get("jit.cache_hit") == 1
+
+
+def test_thread_orders_compile_separately():
+    jit.clear_cache()
+    comp = gemm_comp()
+    k_asc = jit.compile_computation(comp, "asc")
+    k_desc = jit.compile_computation(comp, "desc")
+    assert k_asc is not k_desc
+    info = jit.cache_info()
+    assert info["entries"] == 2 and info["compiled"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Fallback contract
+# ---------------------------------------------------------------------------
+
+
+def test_unsupported_node_falls_back_to_interpreter():
+    comp = gemm_comp()
+    comp.stages[0].body.append(_AlienNode())
+    assert jit.compile_computation(comp) is None
+
+
+def test_unsupported_shape_still_executes_via_interpreter(monkeypatch):
+    # Force the lowering to reject everything: execute() must transparently
+    # interpret and still return bit-identical buffers.
+    comp = gemm_comp()
+    sizes = small_sizes(comp)
+    inputs = random_inputs("GEMM-NN", sizes, seed=9)
+    ref = interpret(comp, sizes, inputs)
+
+    def refuse(*args, **kwargs):
+        raise jit.UnsupportedIR("rejected for the test")
+
+    monkeypatch.setattr(jit.registry, "lower_computation", refuse)
+    jit.clear_cache()
+    telemetry = Telemetry()
+    got = jit.execute(comp, sizes, inputs, telemetry=telemetry)
+    assert telemetry.document()["counters"].get("jit.fallback") == 1
+    for arr in ref:
+        assert np.array_equal(ref[arr], got[arr])
+    jit.clear_cache()
+
+
+def test_uncompilable_verdict_is_cached(monkeypatch):
+    jit.clear_cache()
+    comp = gemm_comp()
+    calls = []
+
+    def refuse(*args, **kwargs):
+        calls.append(1)
+        raise jit.UnsupportedIR("rejected for the test")
+
+    monkeypatch.setattr(jit.registry, "lower_computation", refuse)
+    telemetry = Telemetry()
+    assert jit.compile_computation(comp, telemetry=telemetry) is None
+    assert jit.compile_computation(comp, telemetry=telemetry) is None
+    # the second probe answers from the cache without re-lowering
+    assert len(calls) == 1
+    assert telemetry.document()["counters"].get("jit.cache_hit") == 1
+    assert jit.cache_info()["uncompilable"] == 1
+    jit.clear_cache()
+
+
+# ---------------------------------------------------------------------------
+# Operator guards (the interpreter bugfix, mirrored in the compiler)
+# ---------------------------------------------------------------------------
+
+
+def _corrupt_first_binop(comp):
+    for stage in comp.stages:
+        for stmt in iter_statements(stage.body):
+            stack = [stmt.expr]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, BinOp):
+                    node.op = "%"
+                    return comp
+                if hasattr(node, "left"):
+                    stack.extend([node.left, node.right])
+    raise AssertionError("no BinOp found")
+
+
+def test_interpreter_rejects_unknown_binop():
+    comp = _corrupt_first_binop(gemm_comp())
+    sizes = small_sizes(comp)
+    inputs = random_inputs("GEMM-NN", sizes, seed=2)
+    with pytest.raises(ValueError, match="unknown binary operator"):
+        interpret(comp, sizes, inputs)
+
+
+def test_compiler_rejects_unknown_binop():
+    comp = _corrupt_first_binop(gemm_comp())
+    sizes = small_sizes(comp)
+    inputs = random_inputs("GEMM-NN", sizes, seed=2)
+    jit.clear_cache()
+    with pytest.raises(ValueError, match="unknown binary operator"):
+        jit.execute(comp, sizes, inputs)
+    jit.clear_cache()
+
+
+def test_lowering_rejects_unknown_assign_op():
+    comp = gemm_comp()
+    stmt = next(iter_statements(comp.stages[0].body))
+    assert isinstance(stmt, Assign)
+    stmt.op = "@="  # bypasses the constructor guard, like a bad transform
+    with pytest.raises(ValueError, match="unknown assignment operator"):
+        jit.lower_computation(comp)
+
+
+# ---------------------------------------------------------------------------
+# Telemetry integration
+# ---------------------------------------------------------------------------
+
+
+def test_compile_emits_lower_span_and_counters():
+    jit.clear_cache()
+    comp = gemm_comp()
+    sizes = small_sizes(comp)
+    inputs = random_inputs("GEMM-NN", sizes, seed=1)
+    telemetry = Telemetry()
+    jit.execute(comp, sizes, inputs, telemetry=telemetry)
+    jit.execute(comp, sizes, inputs, telemetry=telemetry)
+    doc = telemetry.document()
+    counters = doc["counters"]
+    assert counters.get("jit.compile") == 1
+    assert counters.get("jit.cache_hit") == 1
+    assert counters.get("jit.vectorized_loops", 0) > 0
+    assert "jit.fallback" not in counters
+    assert len(telemetry.find("jit.lower")) == 1
+    jit.clear_cache()

@@ -6,7 +6,6 @@ warm run is distinguishable *from the trace alone* (routine-cache hit
 counters nonzero, search spans absent).
 """
 
-import pytest
 
 from repro.gpu import GTX_285
 from repro.telemetry import Telemetry

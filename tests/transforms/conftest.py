@@ -1,7 +1,6 @@
 """Shared fixtures: the BLAS3 source nests from the paper and references."""
 
 import numpy as np
-import pytest
 
 from repro.ir import Array, build_computation, interpret, var
 

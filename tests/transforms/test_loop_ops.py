@@ -5,13 +5,7 @@ import numpy as np
 import pytest
 
 from repro.ir import Array, build_computation, interpret, validate, var
-from repro.transforms import (
-    LoopFission,
-    LoopFusion,
-    LoopInterchange,
-    TransformError,
-    TransformFailure,
-)
+from repro.transforms import LoopFission, LoopFusion, LoopInterchange, TransformFailure
 
 
 def two_stream_comp():

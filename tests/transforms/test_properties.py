@@ -2,7 +2,6 @@
 across random configurations, sizes and seeds."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.blas3 import BASE_GEMM_SCRIPT, build_routine, random_inputs, reference

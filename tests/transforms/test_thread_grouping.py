@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ir import GRID_DIMS, Loop, validate
+from repro.ir import validate
 from repro.transforms import ThreadGrouping, TransformFailure
 from repro.transforms.util import KernelStructure
 

@@ -3,7 +3,7 @@ and footprint/range analysis."""
 
 import pytest
 
-from repro.ir import Loop, MinExpr, aff, bound_min, var
+from repro.ir import Loop, aff, bound_min, var
 from repro.transforms import ThreadGrouping, TransformFailure, make_phase, phase_kind
 from repro.transforms.footprint import (
     VarRange,

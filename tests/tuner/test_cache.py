@@ -4,7 +4,6 @@ import json
 import multiprocessing
 
 import numpy as np
-import pytest
 
 from repro.blas3 import random_inputs, reference
 from repro.gpu import FERMI_C2050, GTX_285

@@ -7,7 +7,7 @@ the benchmark harness.
 import numpy as np
 import pytest
 
-from repro.blas3 import get_spec, random_inputs, reference
+from repro.blas3 import random_inputs, reference
 from repro.gpu import GTX_285
 from repro.tuner import LibraryGenerator, TuningOptions
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.blas3 import build_routine
-from repro.gpu import FERMI_C2050, GEFORCE_9800, GTX_285
+from repro.gpu import GEFORCE_9800, GTX_285
 from repro.tuner import CURATED_SPACE, DEFAULT_SPACE, TuningOptions, VariantSearch, prune_space
 from repro.tuner.space import _structurally_valid
 
