@@ -1,0 +1,247 @@
+"""Benchmark: the learned cost model against cold-start tuning latency.
+
+An exhaustive full-space search prices every (script, config) unit of
+the pruned space — the cost the first ``generate()`` at a new size pays.
+The predictor subsystem attacks exactly that: a ridge ranking model
+trained on previously recorded score documents ranks the space, the
+search evaluates only the top-k, and the serving runtime answers
+deadline-bound cold requests from the model's instant plan instead of
+degrading to the baseline.  This benchmark records into
+``BENCH_predictor.json``:
+
+* per routine, the exhaustive cold-generate wall time vs the model-guided
+  ``topk=16`` cold generate, the speedup, and whether the budgeted winner
+  matches the exhaustive one;
+* the leave-one-document-out ranking quality (hit@8 / hit@16) of the
+  model trained on the corpus those exhaustive runs produced;
+* the serving runtime's cold-request behaviour under a deadline, with
+  and without predicted plans.
+
+Acceptance bars: hit@k >= 80% held out, top-k cold generate >= 3x faster
+than exhaustive on >= 2 routines, and deadline-bound cold requests
+answered with predicted plans (0 fallbacks) where the baseline-only
+service degrades every one of them.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.blas3 import random_inputs
+from repro.gpu import GTX_285
+from repro.serve import BlasService, ServeOptions
+from repro.telemetry import Telemetry
+from repro.tuner import (
+    LibraryGenerator,
+    TuningCache,
+    TuningOptions,
+    score_docs,
+    train_model,
+)
+
+from .conftest import emit
+
+#: The corpus and measurement set: every family, both operand sides.
+ROUTINES = [
+    "GEMM-NN",
+    "GEMM-NT",
+    "GEMM-TN",
+    "GEMM-TT",
+    "SYMM-LL",
+    "SYMM-LU",
+    "SYMM-RL",
+    "TRMM-LL-N",
+    "TRMM-LU-N",
+    "TRMM-RL-N",
+    "TRSM-LL-N",
+    "TRSM-LU-N",
+]
+K = 16
+SERVE_ROUTINES = ["GEMM-NN", "SYMM-LL", "TRMM-LL-N", "TRSM-LL-N"]
+SERVE_N = 32
+
+BENCH_PATH = Path(__file__).parents[1] / "BENCH_predictor.json"
+
+
+def _generator(cache_dir, **knobs):
+    return LibraryGenerator(
+        GTX_285,
+        telemetry=Telemetry(),
+        options=TuningOptions(full_space=True, cache_dir=cache_dir, jobs=1, **knobs),
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """Exhaustive full-space generates for every routine: the timing
+    baseline and, as a side effect, the score corpus."""
+    corpus_dir = tmp_path_factory.mktemp("predictor-corpus")
+    times = {}
+    winners = {}
+    for routine in ROUTINES:
+        gen = _generator(corpus_dir)
+        t0 = time.perf_counter()
+        tuned = gen.generate(routine)
+        times[routine] = time.perf_counter() - t0
+        winners[routine] = tuned.tuned_gflops
+    return corpus_dir, times, winners
+
+
+def _merge_record(update):
+    record = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    record.update(update)
+    BENCH_PATH.write_text(json.dumps(record, indent=1))
+
+
+def test_bench_topk_vs_exhaustive(corpus, tmp_path_factory):
+    corpus_dir, exhaustive_s, exhaustive_gflops = corpus
+
+    docs = score_docs(TuningCache(corpus_dir))
+    assert len(docs) == len(ROUTINES)
+    t0 = time.perf_counter()
+    report = train_model(docs, k=[8, K])
+    train_s = time.perf_counter() - t0
+    # acceptance bar: the held-out true winner lands in the top-k >= 80%
+    assert report.hit_at_k[K] >= 0.8
+
+    # a fresh cache dir holding ONLY the model: the top-k generates below
+    # are fully cold except for the learned ranking
+    topk_dir = tmp_path_factory.mktemp("predictor-topk")
+    report.model.save(topk_dir)
+
+    lines = []
+    routines_rec = {}
+    speedups = []
+    for routine in ROUTINES:
+        gen = _generator(topk_dir, topk=K)
+        t0 = time.perf_counter()
+        tuned = gen.generate(routine)
+        topk_s = time.perf_counter() - t0
+        counters = gen.telemetry.metrics.snapshot()
+        speedup = exhaustive_s[routine] / topk_s
+        speedups.append(speedup)
+        winner_match = tuned.tuned_gflops >= exhaustive_gflops[routine] * (1 - 1e-6)
+        routines_rec[routine] = {
+            "exhaustive_cold_generate_s": exhaustive_s[routine],
+            "topk_cold_generate_s": topk_s,
+            "speedup": speedup,
+            "units_evaluated": counters.get("search.units", 0),
+            "units_skipped": counters.get("search.units_skipped", 0),
+            "exact_fallback": counters.get("predictor.exact_fallback", 0),
+            "exhaustive_gflops": exhaustive_gflops[routine],
+            "topk_gflops": tuned.tuned_gflops,
+            "winner_match": winner_match,
+        }
+        lines.append(
+            f"{routine:10s} exhaustive {exhaustive_s[routine]:6.1f} s   "
+            f"top-{K} {topk_s:5.1f} s ({speedup:5.1f}x)   "
+            f"units {counters.get('search.units', 0):4d} "
+            f"(skipped {counters.get('search.units_skipped', 0):4d})   "
+            f"winner {'=' if winner_match else '<'}"
+        )
+
+    # acceptance bar: >= 3x faster cold generate on >= 2 routines
+    assert sum(s >= 3.0 for s in speedups) >= 2
+
+    _merge_record(
+        {
+            "arch": "GTX 285",
+            "space_configs": len(_generator(None).searcher.space),
+            "topk": K,
+            "corpus_documents": report.docs,
+            "corpus_rows": report.rows,
+            "train_s": train_s,
+            "model_r2": report.r2,
+            "hit_at_k": {str(k): v for k, v in report.hit_at_k.items()},
+            "routines": routines_rec,
+        }
+    )
+    emit(
+        f"learned cost model, GTX 285, {len(docs)} corpus documents, top-{K}\n"
+        f"held-out hit@8 {report.hit_at_k[8]:.0%}   hit@{K} "
+        f"{report.hit_at_k[K]:.0%}   train {train_s * 1e3:.0f} ms\n"
+        + "\n".join(lines)
+        + f"\nwritten to {BENCH_PATH}"
+    )
+
+
+def test_bench_predicted_plan_serving(corpus, tmp_path_factory):
+    corpus_dir, _, _ = corpus
+    report = train_model(score_docs(TuningCache(corpus_dir)), k=K)
+
+    def service_dir():
+        d = tmp_path_factory.mktemp("predictor-serve")
+        report.model.save(d)
+        return d
+
+    def run_stream(predicted_plans):
+        service = BlasService(
+            GTX_285,
+            options=ServeOptions(predicted_plans=predicted_plans),
+            tuning=TuningOptions(cache_dir=service_dir()),
+            telemetry=Telemetry(),
+        )
+        results = {}
+        for routine in SERVE_ROUTINES:
+            sizes = (
+                {"M": SERVE_N, "N": SERVE_N, "K": SERVE_N}
+                if "GEMM" in routine
+                else {"M": SERVE_N, "N": SERVE_N}
+            )
+            inputs = random_inputs(routine, sizes, seed=0)
+            t0 = time.perf_counter()
+            pending = service.submit(routine, deadline_s=30.0, **inputs)
+            service.flush()
+            response = pending.result()
+            results[routine] = {
+                "latency_s": time.perf_counter() - t0,
+                "source": response.source,
+                "fallback_reason": response.fallback_reason,
+            }
+        counters = service.telemetry.metrics.snapshot()
+        return results, counters
+
+    with_model, with_counters = run_stream(True)
+    without_model, without_counters = run_stream(False)
+
+    # the acceptance bar: predicted plans answer every deadline-bound cold
+    # request as "tuned"; the baseline-only service degrades every one
+    assert all(r["source"] == "tuned" for r in with_model.values())
+    assert with_counters.get("serve.fallbacks", 0) == 0
+    assert with_counters["serve.predicted_plans"] == len(SERVE_ROUTINES)
+    assert all(r["source"] == "fallback" for r in without_model.values())
+    assert without_counters["serve.fallbacks"] == len(SERVE_ROUTINES)
+
+    _merge_record(
+        {
+            "serve": {
+                "n": SERVE_N,
+                "deadline_s": 30.0,
+                "predicted": with_model,
+                "predicted_counters": {
+                    k: v for k, v in with_counters.items() if k.startswith("serve.")
+                },
+                "baseline_only": without_model,
+                "baseline_counters": {
+                    k: v
+                    for k, v in without_counters.items()
+                    if k.startswith("serve.")
+                },
+            }
+        }
+    )
+    lines = [
+        f"{routine:10s} predicted {with_model[routine]['latency_s'] * 1e3:7.1f} ms "
+        f"({with_model[routine]['source']})   baseline-only "
+        f"{without_model[routine]['latency_s'] * 1e3:7.1f} ms "
+        f"({without_model[routine]['source']}: "
+        f"{without_model[routine]['fallback_reason']})"
+        for routine in SERVE_ROUTINES
+    ]
+    emit(
+        f"deadline-bound cold serving, GTX 285, N={SERVE_N}\n"
+        + "\n".join(lines)
+        + f"\nwritten to {BENCH_PATH}"
+    )

@@ -58,14 +58,16 @@ from .ir import Array, Computation, build_computation, interpret, validate, var
 from .jit import compile_computation, execute as jit_execute
 from .multigpu import MultiGPULibrary, MultiGPUTiming
 from .oa import OAFramework
-from .serve import BlasService, ServeOptions
+from .serve import BlasService, PlanUnavailableError, ServeOptions
 from .telemetry import Metrics, Span, Telemetry, Tracer
 from .tuner import (
     GeneratedLibrary,
     LibraryGenerator,
+    RankingModel,
     TunedRoutine,
     TuningOptions,
     VariantSearch,
+    train_model,
 )
 
 __version__ = "1.0.0"
@@ -95,6 +97,8 @@ __all__ = [
     "MultiGPUTiming",
     "OAFramework",
     "PLATFORMS",
+    "PlanUnavailableError",
+    "RankingModel",
     "ServeOptions",
     "SimulatedGPU",
     "Span",
@@ -122,6 +126,7 @@ __all__ = [
     "parse_variant",
     "random_inputs",
     "reference",
+    "train_model",
     "translate",
     "validate",
     "var",

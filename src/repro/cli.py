@@ -28,6 +28,12 @@ Commands
 ``stats TRACE``
     Print the per-stage wall-time table and counter registry of a trace
     document previously written with ``--trace-json``.
+``train-model``
+    Fit the ranking cost model from the score corpus a tuning cache dir
+    accumulated (every ``generate``/``library`` run with ``--cache-dir``
+    records its evaluated configs) and save it next to the corpus, where
+    ``TuningOptions(topk=...)`` searches and the serving runtime's
+    instant predicted plans pick it up.
 
 All commands take ``--arch {geforce9800,gtx285,fermi}`` (default gtx285)
 and ``-n`` for the problem size (default 4096).  The tuning commands
@@ -41,6 +47,10 @@ and ``-n`` for the problem size (default 4096).  The tuning commands
     when set, otherwise caching is off.
 ``--no-cache``
     Disable the tuning cache even if ``$REPRO_CACHE_DIR`` is set.
+``--topk K``
+    Evaluate only the learned cost model's top-K configurations during a
+    cold search (exact-fallback guarded; needs a ``train-model`` run
+    against the same cache dir first).
 ``--trace-json PATH``
     Record pipeline telemetry (nested spans + counters) and write the
     machine-readable trace document to PATH on exit.
@@ -99,6 +109,15 @@ def _add_tuning(parser: argparse.ArgumentParser) -> None:
         help="disable the tuning cache even if $REPRO_CACHE_DIR is set",
     )
     parser.add_argument(
+        "--topk",
+        type=int,
+        default=None,
+        metavar="K",
+        help="evaluate only the cost model's top-K configurations during "
+        "a cold search (needs a trained model in the cache dir, see "
+        "`train-model`; default: exhaustive)",
+    )
+    parser.add_argument(
         "--trace-json",
         default=None,
         metavar="PATH",
@@ -116,6 +135,7 @@ def _tuning_options(args) -> TuningOptions:
     return TuningOptions(
         jobs=getattr(args, "jobs", None),
         cache_dir=cache_dir,
+        topk=getattr(args, "topk", None),
     )
 
 
@@ -170,6 +190,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "stats", help="print per-stage stats from a --trace-json document"
     )
     p.add_argument("trace", help="path to a trace JSON written by --trace-json")
+
+    p = sub.add_parser(
+        "train-model",
+        help="fit the ranking cost model from a cache dir's score corpus",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="tuning cache directory holding the score corpus "
+        "(default: $REPRO_CACHE_DIR)",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="where to save the model (default: <cache-dir>/predictor-model.json)",
+    )
+    p.add_argument(
+        "--l2",
+        type=float,
+        default=1.0,
+        metavar="LAMBDA",
+        help="ridge regularisation strength (default: 1.0)",
+    )
+    p.add_argument(
+        "-k",
+        type=int,
+        default=8,
+        metavar="K",
+        help="k for the held-out hit@k report (default: 8)",
+    )
 
     p = sub.add_parser(
         "serve",
@@ -437,6 +490,46 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_train_model(args) -> int:
+    from .tuner.cache import TuningCache
+    from .tuner.predictor import MODEL_FILENAME, score_docs, train_model
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        print(
+            "train-model needs --cache-dir (or $REPRO_CACHE_DIR): "
+            "the score corpus lives in the tuning cache directory",
+            file=sys.stderr,
+        )
+        return 1
+    docs = score_docs(TuningCache(cache_dir))
+    if not docs:
+        print(
+            f"no score documents in {cache_dir} — run `repro generate`/"
+            "`repro library` with --cache-dir first to build the corpus",
+            file=sys.stderr,
+        )
+        return 1
+    report = train_model(docs, l2=args.l2, k=args.k)
+    output = args.output or os.path.join(cache_dir, MODEL_FILENAME)
+    report.model.save(output)
+    rows = [
+        (routine, arch_name, "yes" if hit else "no")
+        for routine, arch_name, hit in report.per_doc
+    ]
+    print(
+        ascii_table(
+            ["routine", "arch", f"hit@{args.k}"],
+            rows,
+            title=f"leave-one-out ranking quality ({report.docs} documents)",
+        )
+    )
+    hits = ", ".join(f"hit@{k} {v:.0%}" for k, v in sorted(report.hit_at_k.items()))
+    print(f"trained on {report.rows} rows  r2 {report.r2:.3f}  {hits}")
+    print(f"model saved to {output}")
+    return 0
+
+
 def _cmd_candidates(args) -> int:
     oa = OAFramework(PLATFORMS[args.arch])
     for candidate in oa.candidates(args.routine):
@@ -465,6 +558,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "train-model":
+        return _cmd_train_model(args)
     return 1  # pragma: no cover
 
 

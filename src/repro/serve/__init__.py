@@ -8,7 +8,7 @@ README's "Serving" section for the quickstart and counter glossary.
 from .batching import MicroBatcher
 from .dispatch import DispatchTable, Plan, PlanKey, size_bucket
 from .request import PendingResult, Request, Response, ServeError
-from .service import BlasService, ServeOptions
+from .service import BlasService, PlanUnavailableError, ServeOptions
 
 __all__ = [
     "BlasService",
@@ -17,6 +17,7 @@ __all__ = [
     "PendingResult",
     "Plan",
     "PlanKey",
+    "PlanUnavailableError",
     "Request",
     "Response",
     "ServeError",

@@ -47,6 +47,9 @@ class Plan:
     key: PlanKey
     tuned: TunedRoutine
     hits: int = 0
+    #: built by the cost model's instant-plan path (no search ran);
+    #: replaced by the fully tuned plan when background tuning finishes
+    predicted: bool = False
 
     @property
     def routine(self) -> str:

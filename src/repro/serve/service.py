@@ -59,13 +59,30 @@ from ..blas3.routines import get_spec, infer_sizes
 from ..gpu.arch import GPUArch, GTX_285
 from ..multigpu import MultiGPULibrary
 from ..telemetry import Telemetry, ensure_telemetry
-from ..tuner.library import LibraryGenerator
+from ..tuner.library import LibraryGenerator, TunedRoutine
 from ..tuner.options import TuningOptions
 from .batching import MicroBatcher
 from .dispatch import DispatchTable, Plan, PlanKey, size_bucket
 from .request import PendingResult, Request, Response
 
-__all__ = ["ServeOptions", "BlasService"]
+__all__ = ["ServeOptions", "BlasService", "PlanUnavailableError"]
+
+
+class PlanUnavailableError(RuntimeError):
+    """No tuned plan could be resolved for a request.
+
+    Carries the request context (routine, bucket, reason) so callers —
+    and their logs — see *what* failed to resolve, not a bare assertion
+    (which would vanish entirely under ``python -O``).
+    """
+
+    def __init__(self, routine: str, bucket: int, reason: str):
+        self.routine = routine
+        self.bucket = bucket
+        self.reason = reason
+        super().__init__(
+            f"no plan for {routine} (bucket {bucket}): {reason}"
+        )
 
 
 @dataclass(frozen=True)
@@ -86,6 +103,12 @@ class ServeOptions:
     #: tune one plan per size bucket (False: one plan per routine,
     #: tuned at TuningOptions.tune_size, still keyed per bucket)
     bucket_tuning: bool = True
+    #: answer deadline-bound cold requests with the cost model's instant
+    #: predicted plan (needs a trained model in the tuning cache dir)
+    predicted_plans: bool = True
+    #: tune predicted plans for real on a background thread and promote
+    #: the verified winner on a later hit
+    background_promotion: bool = True
 
 
 class BlasService:
@@ -116,6 +139,9 @@ class BlasService:
         self._thread: Optional[threading.Thread] = None
         self._running = False
         self._peak_reported = 0
+        #: background-tuned routines awaiting promotion, keyed by PlanKey
+        self._promotions: Dict[PlanKey, TunedRoutine] = {}
+        self._background: Dict[PlanKey, threading.Thread] = {}
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "BlasService":
@@ -235,18 +261,27 @@ class BlasService:
         }
 
     def warm(self, routine: str, n: int) -> Plan:
-        """Pre-tune (or cache-load) the plan a size-``n`` call will use."""
+        """Pre-tune (or cache-load) the plan a size-``n`` call will use.
+
+        Raises :class:`PlanUnavailableError` if no plan can be resolved
+        (warm requests carry no deadline, so this only happens when the
+        tuner itself cannot produce one).
+        """
         spec = get_spec(routine)
-        plan, _ = self._resolve_plan(
+        sizes = spec.make_sizes(n)
+        plan, reason = self._resolve_plan(
             Request(
                 id=0,
                 routine=spec.name,
                 arrays={},
-                sizes=spec.make_sizes(n),
+                sizes=sizes,
                 submitted_at=self.clock(),
             )
         )
-        assert plan is not None  # no deadline → always tunes
+        if plan is None:
+            raise PlanUnavailableError(
+                spec.name, size_bucket(sizes), reason or "unknown"
+            )
         return plan
 
     # -- dispatcher ----------------------------------------------------
@@ -314,11 +349,27 @@ class BlasService:
         key: PlanKey = (request.routine, self.arch.name, bucket)
         plan = self.table.lookup(key)
         if plan is not None:
+            if plan.predicted:
+                promoted = self._take_promotion(key)
+                if promoted is not None:
+                    plan = Plan(key, promoted, hits=plan.hits)
+                    self.table.insert(plan)
+                    self.telemetry.incr("serve.plan.promoted")
             return plan, None
         generator = self._generator_for(bucket)
         if request.deadline_s is not None and not generator.has_cached(request.routine):
-            # A cold search will not fit any deadline budget; answer from
-            # the baseline now instead of blocking the queue for seconds.
+            # A cold search will not fit any deadline budget.  Before
+            # degrading to the baseline, try the cost model's instant
+            # predicted plan: the model's top config, cheaply verified —
+            # answered now, tuned for real in the background.
+            if self.options.predicted_plans:
+                predicted = generator.predict(request.routine)
+                if predicted is not None:
+                    plan = Plan(key, predicted, predicted=True)
+                    self.table.insert(plan)
+                    self.telemetry.incr("serve.predicted_plans")
+                    self._promote_async(key, bucket, request.routine)
+                    return plan, None
             return None, "no-plan"
         with self.telemetry.span(
             "serve.tune", routine=request.routine, bucket=bucket
@@ -328,6 +379,58 @@ class BlasService:
         plan = Plan(key, tuned)
         self.table.insert(plan)
         return plan, None
+
+    # -- background promotion ------------------------------------------
+    def _take_promotion(self, key: PlanKey) -> Optional[TunedRoutine]:
+        with self._lock:
+            return self._promotions.pop(key, None)
+
+    def _promote_async(self, key: PlanKey, bucket: int, routine: str) -> None:
+        """Kick off the real tuning run that will replace a predicted
+        plan on a later lookup hit."""
+        if not self.options.background_promotion:
+            return
+        with self._lock:
+            if key in self._background:
+                return
+            thread = threading.Thread(
+                target=self._background_tune,
+                args=(key, bucket, routine),
+                name=f"blas-serve-promote-{routine}-{bucket}",
+                daemon=True,
+            )
+            self._background[key] = thread
+        thread.start()
+
+    def _background_tune(self, key: PlanKey, bucket: int, routine: str) -> None:
+        """Full tune on a background thread (fresh generator: the shared
+        per-bucket generators are not thread safe)."""
+        try:
+            tuning = self.tuning
+            if self.options.bucket_tuning and bucket:
+                tuning = tuning.replace(tune_size=bucket)
+            generator = LibraryGenerator(
+                self.arch, telemetry=self.telemetry, options=tuning
+            )
+            with self.telemetry.span(
+                "serve.background_tune", routine=routine, bucket=bucket
+            ):
+                tuned = generator.generate(routine)
+            with self._lock:
+                self._promotions[key] = tuned
+            self.telemetry.incr("serve.background_tuned")
+        except Exception:
+            self.telemetry.incr("serve.background_tune_errors")
+        finally:
+            with self._lock:
+                self._background.pop(key, None)
+
+    def join_background(self, timeout: Optional[float] = None) -> None:
+        """Wait for in-flight background tunes (deterministic tests)."""
+        with self._lock:
+            threads = list(self._background.values())
+        for thread in threads:
+            thread.join(timeout)
 
     def _execute_batch(self, batch: List[Request]) -> None:
         first = batch[0]

@@ -5,11 +5,13 @@ from .cache import TuningCache, arch_fingerprint, space_fingerprint
 from .library import GeneratedLibrary, LibraryGenerator, TunedRoutine
 from .options import TuningOptions, resolve_options
 from .persist import FORMAT_VERSION, load_library, save_library
+from .predictor import RankingModel, TrainingReport, score_docs, train_model
 from .search import (
     CURATED_SPACE,
     CandidateScore,
     SearchResult,
     VariantSearch,
+    rank_key,
     resolve_jobs,
 )
 from .space import Config, DEFAULT_SPACE, default_space, prune_space
@@ -22,7 +24,9 @@ __all__ = [
     "FORMAT_VERSION",
     "GeneratedLibrary",
     "LibraryGenerator",
+    "RankingModel",
     "SearchResult",
+    "TrainingReport",
     "TunedRoutine",
     "TuningCache",
     "TuningOptions",
@@ -33,6 +37,9 @@ __all__ = [
     "save_library",
     "default_space",
     "prune_space",
+    "rank_key",
     "resolve_jobs",
+    "score_docs",
     "space_fingerprint",
+    "train_model",
 ]

@@ -2,17 +2,21 @@
 
 The paper's central claim is that optimization experience is *reusable*:
 once the search has found the best (script, config) pair for a routine on
-a platform, re-deriving it is pure waste.  This module keeps two kinds of
-artifacts on disk, keyed by everything that could change the answer:
+a platform, re-deriving it is pure waste.  This module keeps three kinds
+of artifacts on disk, keyed by everything that could change the answer:
 
 * **routine winners** — the full :class:`~repro.tuner.library.TunedRoutine`
   record (winning script text, config, modeled GFLOPS, fallback), exactly
   the per-routine document :mod:`repro.tuner.persist` writes into a saved
-  library; and
+  library;
 * **verification verdicts** — the boolean outcome of the functional
   oracle per (routine, effective component sequence), so even a cold
   search on a new parameter space skips re-verifying sequences it has
-  seen before.
+  seen before; and
+* **score documents** — every (config, gflops, verdict) an exhaustive
+  search evaluated, the training corpus of the learned cost model
+  (:mod:`repro.tuner.predictor`); without them the cache keeps only the
+  winner and the predictor has nothing to learn from.
 
 Cache keys are SHA-256 digests over a canonical JSON encoding of
 ``(FORMAT_VERSION, arch fingerprint, routine, base-script hash, space
@@ -142,11 +146,26 @@ class TuningCache:
         return self.dir / f"{kind}-{safe_tag}-{key}.json"
 
     def _read(self, path: Path) -> Optional[Dict]:
+        """One document, or ``None`` on a miss.
+
+        A missing file is a plain miss; a file that *exists* but cannot
+        be parsed into a JSON object is corruption and counts as
+        ``cache.corrupt`` — silent until PR 6, which made write failures
+        and corrupt loads observable without changing their behaviour.
+        """
         try:
-            doc = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
             return None
-        return doc if isinstance(doc, dict) else None
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            self.telemetry.incr("cache.corrupt")
+            return None
+        if not isinstance(doc, dict):
+            self.telemetry.incr("cache.corrupt")
+            return None
+        return doc
 
     def _write(self, path: Path, doc: Dict) -> None:
         try:
@@ -160,8 +179,9 @@ class TuningCache:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
         except OSError:
-            # A read-only or full cache directory degrades to no caching.
-            pass
+            # A read-only or full cache directory degrades to no caching
+            # — but the degradation is counted, not silent.
+            self.telemetry.incr("cache.write_error")
 
     # -- routine winners ----------------------------------------------
     def has_routine(self, key: str, routine: str) -> bool:
@@ -203,6 +223,82 @@ class TuningCache:
         }
         self._write(self._path("routine", tuned.name, key), doc)
         self.telemetry.incr("cache.routine.store")
+
+    # -- score documents (the predictor's training corpus) -------------
+    def store_scores(
+        self,
+        key: str,
+        routine: str,
+        family: str,
+        arch: GPUArch,
+        tune_size: int,
+        records: Sequence[Dict],
+        complete: bool = True,
+    ) -> None:
+        """Persist every evaluated (config, gflops, verdict) of one search.
+
+        Same discipline as routine winners: atomic replace, fingerprint
+        key, format-versioned.  ``records`` are plain dicts (``config``,
+        ``gflops``, ``ok``, ``error``, ``occupancy``, ``provenance``);
+        ``complete`` marks an exhaustive sweep of the pruned space — only
+        complete documents carry a guaranteed true winner, so only they
+        anchor hit@k evaluation.
+        """
+        from .persist import FORMAT_VERSION, arch_record
+
+        doc = {
+            "format": FORMAT_VERSION,
+            "key": key,
+            "routine": routine,
+            "family": family,
+            "arch": arch_record(arch),
+            "tune_size": int(tune_size),
+            "complete": bool(complete),
+            "scores": list(records),
+        }
+        self._write(self._path("scores", routine, key), doc)
+        self.telemetry.incr("cache.scores.store")
+
+    def load_scores(self, key: str, routine: str) -> Optional[Dict]:
+        """One score document, or ``None`` on miss/corruption/mismatch."""
+        from .persist import FORMAT_VERSION
+
+        doc = self._read(self._path("scores", routine, key))
+        if (
+            not doc
+            or doc.get("format") != FORMAT_VERSION
+            or doc.get("key") != key
+            or not isinstance(doc.get("scores"), list)
+        ):
+            self.telemetry.incr("cache.scores.miss")
+            return None
+        self.telemetry.incr("cache.scores.hit")
+        return doc
+
+    def iter_scores(self) -> Iterator[Dict]:
+        """Every readable score document in the cache directory.
+
+        Corrupt files count as ``cache.corrupt`` (via :meth:`_read`) and
+        are skipped; documents with a mismatched format version are
+        skipped silently — a translator release that bumps
+        ``FORMAT_VERSION`` orphans the old corpus rather than training
+        on scores produced under different semantics.
+        """
+        from .persist import FORMAT_VERSION
+
+        try:
+            paths = sorted(self.dir.glob("scores-*.json"))
+        except OSError:
+            return
+        for path in paths:
+            doc = self._read(path)
+            if (
+                not doc
+                or doc.get("format") != FORMAT_VERSION
+                or not isinstance(doc.get("scores"), list)
+            ):
+                continue
+            yield doc
 
     # -- verification verdicts ----------------------------------------
     def _parse_verdicts(self, key: str, path: Path) -> Dict[str, bool]:

@@ -39,7 +39,7 @@ from ..gpu.simulator import RunResult, SimulatedGPU
 from ..ir.ast import Computation
 from ..telemetry import Telemetry, ensure_telemetry
 from .options import TuningOptions, _legacy_knobs, resolve_options
-from .search import CandidateScore, SearchResult, VariantSearch
+from .search import CandidateScore, SearchResult, VariantSearch, rank_key
 from .space import Config
 
 __all__ = ["TunedRoutine", "LibraryGenerator", "GeneratedLibrary"]
@@ -312,7 +312,26 @@ class LibraryGenerator:
 
     def _routine_cache_key(self, name: str) -> str:
         """Content address of one routine's winner for this generator's
-        exact tuning setup — see DESIGN.md for the key layout."""
+        exact tuning setup — see DESIGN.md for the key layout.
+
+        ``topk`` joins the key only when set: a budgeted search may pick
+        a different winner than the exhaustive sweep, so the two must
+        not share a cache slot (and default keys stay stable).
+        """
+        knobs = {
+            "tune_size": self.tune_size,
+            "check_candidates": self.check_candidates,
+        }
+        if self.options.topk is not None:
+            knobs["topk"] = self.options.topk
+        return self.disk_cache.routine_key(
+            self.arch, name, self._base_hash, self._space_fp, **knobs
+        )
+
+    def _scores_cache_key(self, name: str) -> str:
+        """Content address of one routine's score document.  Keyed like
+        the winner but *without* ``topk`` — the corpus only stores
+        exhaustive sweeps, which are the same document either way."""
         return self.disk_cache.routine_key(
             self.arch,
             name,
@@ -386,18 +405,80 @@ class LibraryGenerator:
             with self.telemetry.span("compose", routine=key) as csp:
                 candidates = self.candidates(name)
                 csp.tags["candidates"] = len(candidates)
-            result = self.searcher.search(
-                name, source, candidates, keep_all=keep_all_scores
-            )
+            result = self.searcher.search(name, source, candidates, keep_all=True)
+            self._store_scores(key, spec, result)
 
             with self.telemetry.span("verify", routine=key):
-                tuned = self._verified_best(spec, source, result)
+                try:
+                    tuned = self._verified_best(spec, source, result)
+                except RuntimeError:
+                    if result.complete:
+                        raise
+                    # Exact-fallback guard, verification edition: none of
+                    # the model's picks survived the oracle — re-search
+                    # the full space rather than fail a routine the
+                    # exhaustive path could build.
+                    result = self._widen_search(key, spec, source, candidates)
+                    tuned = self._verified_best(spec, source, result)
                 if tuned.conditions:
-                    tuned.fallback = self._unconditioned_fallback(spec, source, result)
+                    fallback = self._unconditioned_fallback(spec, source, result)
+                    if fallback is None and not result.complete:
+                        result = self._widen_search(key, spec, source, candidates)
+                        fallback = self._unconditioned_fallback(spec, source, result)
+                    tuned.fallback = fallback
+            if not keep_all_scores:
+                result.scores = [s for s in result.scores if s.ok]
             self._cache[key] = tuned
             if self.disk_cache is not None:
                 self.disk_cache.store_routine(disk_key, tuned)
             return tuned
+
+    def _widen_search(
+        self,
+        key: str,
+        spec: RoutineSpec,
+        source: Computation,
+        candidates: Sequence[ComposedScript],
+    ) -> SearchResult:
+        """Exhaustive re-search after a top-k search came up empty."""
+        self.telemetry.incr("predictor.exact_fallback")
+        result = self.searcher.search(
+            spec.name, source, candidates, keep_all=True, topk=0
+        )
+        self._store_scores(key, spec, result)
+        return result
+
+    def _store_scores(self, key: str, spec: RoutineSpec, result: SearchResult) -> None:
+        """Persist one exhaustive search's full score list as a corpus
+        document (top-k sweeps are partial and are not stored)."""
+        if self.disk_cache is None or not result.complete or not result.scores:
+            return
+        records = []
+        for score in result.scores:
+            occ = 0.0
+            if score.run is not None and score.run.timing.kernels:
+                occ = min(
+                    k.occupancy.occupancy for k in score.run.timing.kernels
+                )
+            records.append(
+                {
+                    "config": dict(score.config),
+                    "gflops": round(score.gflops, 4),
+                    "ok": bool(score.ok),
+                    "error": score.error,
+                    "occupancy": round(occ, 4),
+                    "provenance": score.script.provenance,
+                }
+            )
+        self.disk_cache.store_scores(
+            self._scores_cache_key(key),
+            key,
+            spec.variant.family,
+            self.arch,
+            self.tune_size,
+            records,
+            complete=True,
+        )
 
     def has_cached(self, name: str) -> bool:
         """Whether :meth:`generate` would return without running a search.
@@ -413,6 +494,74 @@ class LibraryGenerator:
         if self.disk_cache is None:
             return False
         return self.disk_cache.has_routine(self._routine_cache_key(key), key)
+
+    #: How many (config, candidate) pairs :meth:`predict` may try before
+    #: giving up — bounds the latency of the instant-plan path.
+    PREDICT_ATTEMPTS = 12
+
+    def predict(self, name: str) -> Optional[TunedRoutine]:
+        """An *instant predicted plan*: the cost model's best config,
+        translated and cheaply verified — no search.
+
+        The deadline-bound serving path uses this when a cold request
+        cannot afford :meth:`generate`: compose the candidates, walk the
+        model's config ranking, and return the first (config, script)
+        pair that translates and passes the small-tile functional check
+        (milliseconds, against seconds for the search).  Only
+        unconditioned candidates qualify — a predicted plan has no
+        fallback variant to dispatch to when the blank area is nonzero.
+
+        Returns ``None`` when no model is trained or nothing verifies;
+        callers degrade exactly as before.  Counter: ``predictor.plans``.
+        """
+        predictor = self.searcher.predictor
+        if predictor is None:
+            return None
+        spec = get_spec(name)
+        key = spec.name
+        if key in self._cache:
+            return self._cache[key]  # the real plan is strictly better
+        source = build_routine(name)
+        with self.telemetry.span("predict", routine=key) as sp:
+            candidates = [c for c in self.candidates(name) if not c.conditions]
+            if not candidates:
+                return None
+            order = predictor.rank_configs(
+                spec.variant.family, self.arch, self.searcher.space, self.tune_size
+            )
+            self.telemetry.incr("predictor.rank")
+            attempts = 0
+            for ki in order:
+                config = self.searcher.space[ki]
+                for candidate in candidates:
+                    if attempts >= self.PREDICT_ATTEMPTS:
+                        return None
+                    attempts += 1
+                    score = self.searcher._evaluate(
+                        source,
+                        candidate,
+                        config,
+                        spec.make_sizes(self.tune_size),
+                        spec.nominal_flops(spec.make_sizes(self.tune_size)),
+                    )
+                    if not score.ok:
+                        continue
+                    if not self._script_verified(source, score):
+                        continue
+                    self.telemetry.incr("predictor.plans")
+                    sp.tags["config"] = dict(config)
+                    sp.tags["attempts"] = attempts
+                    return TunedRoutine(
+                        spec=spec,
+                        arch=self.arch,
+                        script=score.script,
+                        config=dict(score.config),
+                        comp=score.comp,
+                        tuned_gflops=score.gflops,
+                        applied_key=score.applied_key,
+                        telemetry=self.telemetry,
+                    )
+        return None
 
     def library(self, names: Optional[Sequence[str]] = None) -> "GeneratedLibrary":
         names = list(names or (v.name for v in ALL_VARIANTS))
@@ -486,7 +635,7 @@ class LibraryGenerator:
         self, spec: RoutineSpec, source: Computation, result: SearchResult
     ) -> TunedRoutine:
         """Walk the score ranking until a functionally correct winner."""
-        ranked = sorted((s for s in result.scores if s.ok), key=lambda s: -s.gflops)
+        ranked = sorted((s for s in result.scores if s.ok), key=rank_key)
         if not ranked:
             ranked = [result.best]
         for score in ranked:
@@ -511,7 +660,7 @@ class LibraryGenerator:
     ) -> Optional[TunedRoutine]:
         ranked = sorted(
             (s for s in result.scores if s.ok and not s.script.conditions),
-            key=lambda s: -s.gflops,
+            key=rank_key,
         )
         for score in ranked:
             if self._script_verified(source, score):

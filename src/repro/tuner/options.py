@@ -61,6 +61,10 @@ class TuningOptions:
     full_space: bool = False
     jobs: Optional[int] = None
     cache_dir: Optional[Union[str, Path]] = None
+    #: evaluate only the learned cost model's top-k configurations during
+    #: a cold search (``None`` = exhaustive; needs a trained model in
+    #: ``cache_dir``, silently exhaustive without one)
+    topk: Optional[int] = None
 
     def __post_init__(self):
         if self.space is not None:

@@ -1,0 +1,34 @@
+"""Learned cost model for the tuning search (the predictor subsystem).
+
+Cold tuning evaluates every pruned (script × config) unit with the
+analytic model — hundreds of translations and profiles per routine.
+This package turns past searches into a training corpus (score documents
+persisted by the tuning cache), fits a dependency-free ridge ranking
+model over engineered features, and lets the search evaluate only the
+model's top-k candidates, with an exact-fallback guard when the model's
+picks all fail.  The serving runtime uses the same model to answer
+deadline-bound cold requests with an instant predicted plan instead of
+degrading to the baseline.
+"""
+
+from .corpus import doc_rows, score_docs
+from .features import FEATURE_NAMES, featurize
+from .model import (
+    MODEL_FILENAME,
+    PREDICTOR_FORMAT,
+    RankingModel,
+    TrainingReport,
+    train_model,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "MODEL_FILENAME",
+    "PREDICTOR_FORMAT",
+    "RankingModel",
+    "TrainingReport",
+    "doc_rows",
+    "featurize",
+    "score_docs",
+    "train_model",
+]

@@ -1,0 +1,87 @@
+"""Turning the tuning cache into a training corpus.
+
+Every exhaustive :class:`~repro.tuner.search.VariantSearch` run already
+scores the whole pruned (script × config) space; the cache's score
+documents (``scores-*.json``, written by
+:meth:`~repro.tuner.library.LibraryGenerator.generate`) keep those
+scores instead of dropping everything but the winner.  This module reads
+the documents back into the shape the model trainer wants:
+
+* per config, the **best GFLOPS over all candidate scripts** — the
+  model ranks configurations, and a configuration is as good as the best
+  script it can carry;
+* failed/infeasible units contribute a 0 target, teaching the model to
+  rank structurally hopeless configs last;
+* the serialized arch record is rebuilt into a live
+  :class:`~repro.gpu.arch.GPUArch` (``arch_obj``) so featurization can
+  run the real occupancy calculator.
+
+Documents that fail to resolve (unknown arch, malformed records) are
+skipped, mirroring the cache's corruption-tolerant loads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cache import TuningCache
+from ..space import Config
+
+__all__ = ["score_docs", "doc_rows"]
+
+
+def _resolve(doc: Dict) -> Optional[Dict]:
+    """Attach ``arch_obj``/``arch_name`` to a raw score document, or
+    ``None`` when the document cannot back a training row."""
+    from ..persist import rebuild_arch
+
+    try:
+        arch = rebuild_arch(doc["arch"])
+        doc = dict(doc)
+        doc["arch_obj"] = arch
+        doc["arch_name"] = arch.name
+        doc["tune_size"] = int(doc["tune_size"])
+        if not isinstance(doc.get("scores"), list) or not doc["scores"]:
+            return None
+        if not isinstance(doc.get("family"), str) or not isinstance(
+            doc.get("routine"), str
+        ):
+            return None
+    except (KeyError, TypeError, ValueError):
+        return None
+    return doc
+
+
+def score_docs(cache: TuningCache) -> List[Dict]:
+    """All resolvable score documents in a tuning cache, ready to train
+    on (sorted by routine/arch for deterministic corpus order)."""
+    docs = []
+    for raw in cache.iter_scores():
+        doc = _resolve(raw)
+        if doc is not None:
+            docs.append(doc)
+    docs.sort(key=lambda d: (d["routine"], d["arch_name"], d["tune_size"]))
+    return docs
+
+
+def doc_rows(doc: Dict) -> Tuple[List[Config], List[float]]:
+    """Aggregate one document to (config, best-GFLOPS-over-scripts) rows.
+
+    Row order is deterministic (sorted by config knobs) so the same
+    document always produces the same training matrix.
+    """
+    best: Dict[Tuple, Tuple[Config, float]] = {}
+    for entry in doc["scores"]:
+        config = entry.get("config")
+        if not isinstance(config, dict):
+            continue
+        try:
+            config = {k: int(v) for k, v in config.items()}
+            gflops = float(entry.get("gflops", 0.0)) if entry.get("ok") else 0.0
+        except (TypeError, ValueError):
+            continue
+        key = tuple(sorted(config.items()))
+        if key not in best or gflops > best[key][1]:
+            best[key] = (config, gflops)
+    ordered = sorted(best.items())
+    return [cfg for _, (cfg, _) in ordered], [g for _, (_, g) in ordered]

@@ -1,0 +1,131 @@
+"""Engineered features for the learned cost model.
+
+The search space is small, enumerable and fully described by the five
+tile/thread knobs plus the architecture descriptor — exactly the setup
+where hand-engineered features beat representation learning.  Every
+feature is a deterministic function of ``(family, arch, config, size)``
+that the ranking model can evaluate *without* translating or profiling
+anything, so ranking the whole pruned space costs microseconds:
+
+* **knob features** — the raw tunables in log2 (the space is a power-of-
+  two lattice), the per-thread register tile (``BM/TX × BN/TY``, the
+  quantity §III's register allocator budgets), and shape ratios that
+  distinguish Volkov-style row kernels from square tiles;
+* **resource features** — the same conservative register/shared-memory
+  estimate :func:`~repro.tuner.space.prune_space` uses, fed through the
+  real :func:`~repro.gpu.occupancy.occupancy` calculator (occupancy and
+  blocks-per-SM are the strongest single predictors on all three chips);
+* **schedule features** — grid size and wave count at the tuning size,
+  which capture tail-quantisation effects the analytic model prices in;
+* **arch features** — the descriptor fields that move the roofline
+  (SM/SP counts, clock, bandwidth, compute/bandwidth ratio, coalescing
+  granularity), so one model serves every platform;
+* **routine features** — the BLAS3 family as a one-hot (TRSM's
+  dependence structure values tiles differently from the multiply
+  families) and the problem size in log2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ...blas3.naming import FAMILIES
+from ...gpu.arch import GPUArch
+from ...gpu.occupancy import occupancy
+from ..space import Config
+
+__all__ = ["FEATURE_NAMES", "featurize"]
+
+
+def _lg(value: float) -> float:
+    return math.log2(max(value, 1e-9))
+
+
+#: Names of the feature vector's entries, in :func:`featurize` order.
+#: Serialized with the model so a weight vector is self-describing.
+FEATURE_NAMES: List[str] = [
+    "log2_bm",
+    "log2_bn",
+    "log2_kt",
+    "log2_tx",
+    "log2_ty",
+    "log2_threads",
+    "reg_tile_m",
+    "reg_tile_n",
+    "reg_tile",
+    "log2_regs",
+    "smem_frac",
+    "occupancy",
+    "blocks_per_sm",
+    "log2_grid",
+    "log2_waves",
+    "work_per_thread",
+    "log2_bm_over_bn",
+    "log2_tx_over_ty",
+    "flops_per_smem_byte",
+    "num_sms",
+    "sps_per_sm",
+    "clock_ghz",
+    "log2_bandwidth",
+    "log2_peak_gflops",
+    "log2_regs_per_sm",
+    "log2_smem_per_sm",
+    "is_fermi",
+    "coalesce_granularity",
+    "compute_mem_ratio",
+    "log2_size",
+] + [f"family_{family.lower()}" for family in FAMILIES]
+
+
+def featurize(family: str, arch: GPUArch, config: Config, size: int) -> List[float]:
+    """Feature vector for one (routine family, arch, config, size) point.
+
+    Mirrors the resource estimate of :func:`~repro.tuner.space.prune_space`
+    (register tile + staging registers, one ``KT × max(BM,BN)`` shared
+    tile) so the model sees the same occupancy the pruner reasons about.
+    """
+    bm, bn, kt = config["BM"], config["BN"], config["KT"]
+    tx, ty = config["TX"], config["TY"]
+    threads = tx * ty
+    tile_m, tile_n = bm // tx, bn // ty
+    reg_tile = tile_m * tile_n
+    regs = 14 + reg_tile
+    smem = kt * (max(bm, bn) + 1) * 4
+    occ = occupancy(arch, threads, regs, smem)
+    grid = (size // bm) * (size // bn)
+    waves = grid / max(1, arch.num_sms * occ.blocks_per_sm)
+    features = [
+        _lg(bm),
+        _lg(bn),
+        _lg(kt),
+        _lg(tx),
+        _lg(ty),
+        _lg(threads),
+        float(tile_m),
+        float(tile_n),
+        float(reg_tile),
+        _lg(regs),
+        smem / arch.smem_per_sm,
+        occ.occupancy,
+        float(occ.blocks_per_sm),
+        _lg(max(1.0, grid)),
+        _lg(max(1.0, waves)),
+        float(reg_tile * kt),
+        _lg(bm / bn),
+        _lg(tx / ty),
+        float(bm * bn * kt) / max(1, smem),
+        float(arch.num_sms),
+        float(arch.sps_per_sm),
+        arch.clock_ghz,
+        _lg(arch.mem_bandwidth_gbs),
+        _lg(arch.peak_gflops),
+        _lg(arch.regs_per_sm),
+        _lg(arch.smem_per_sm),
+        float(arch.is_fermi),
+        float(arch.coalesce_granularity),
+        arch.peak_gflops / arch.mem_bandwidth_gbs,
+        _lg(size),
+    ]
+    features.extend(1.0 if family == fam else 0.0 for fam in FAMILIES)
+    return features

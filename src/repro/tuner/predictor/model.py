@@ -1,0 +1,413 @@
+"""The ranking predictor: ridge base + gradient-boosted correction.
+
+The model's job is *ordering*, not absolute prediction: given the pruned
+parameter space for one (routine, arch, size), rank configurations so
+the true winner lands in the top-k with high probability.  A linear
+model alone is not enough — the analytic performance model behind the
+scores has sharp occupancy and coalescing cliffs, so ridge regression
+places the winner in the top-64 of a ~800-config space but rarely the
+top-16.  The fitted model is therefore a hybrid: a closed-form ridge fit
+over the standardised engineered features provides the smooth base, and
+hand-rolled gradient-boosted regression trees (depth ≤ 3, squared loss)
+on the residual learn the interactions the cliffs create.  Both stages
+are deterministic NumPy (stable sorts, first-best split ties), keeping
+the subsystem dependency-free; on a corpus too small to split a tree
+(min-leaf guard) the boosting stage degenerates to a constant and the
+model behaves exactly like the ridge fit.
+
+Serialization is a JSON document (``predictor-model.json`` in the
+tuning-cache directory by default) carrying the standardisation
+statistics, the weight vector keyed by feature names, the boosted trees
+and training provenance; :meth:`RankingModel.try_load` treats a missing,
+corrupt or format-mismatched file as "no model", mirroring the tuning
+cache's corruption tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ...gpu.arch import GPUArch
+from ..space import Config
+from .features import FEATURE_NAMES, featurize
+
+__all__ = [
+    "PREDICTOR_FORMAT",
+    "MODEL_FILENAME",
+    "RankingModel",
+    "TrainingReport",
+    "train_model",
+]
+
+#: Schema version of the serialized model document (2 = ridge + trees).
+PREDICTOR_FORMAT = 2
+
+#: Default model file name inside a tuning-cache directory.
+MODEL_FILENAME = "predictor-model.json"
+
+
+def _config_order_key(config: Config) -> Tuple:
+    """Deterministic tie-break for equal predicted scores."""
+    return tuple(sorted(config.items()))
+
+
+def _fit_tree(X: np.ndarray, g: np.ndarray, depth: int, min_leaf: int) -> Dict:
+    """One squared-loss regression tree on residual ``g``, as nested
+    dicts (JSON-serializable).
+
+    Deterministic by construction: stable argsort per feature, strict
+    ``>`` on the variance-gain comparison (first feature wins ties), and
+    thresholds at exact midpoints of consecutive distinct values.
+    """
+    n_rows, n_features = X.shape
+
+    def build(idx: np.ndarray, d: int) -> Dict:
+        node: Dict = {"value": float(g[idx].mean())}
+        if d == 0 or len(idx) < 2 * min_leaf:
+            return node
+        Xi, gi = X[idx], g[idx]
+        best = None
+        counts = np.arange(1, len(idx) + 1, dtype=np.float64)
+        right_counts = np.maximum(len(idx) - counts, 1e-12)
+        for f in range(n_features):
+            order = np.argsort(Xi[:, f], kind="stable")
+            xs, gs = Xi[order, f], gi[order]
+            csum = np.cumsum(gs)
+            total = csum[-1]
+            # gain ∝ sum² left/count + sum² right/count — maximising it
+            # minimises the post-split squared error
+            gain = csum**2 / counts + (total - csum) ** 2 / right_counts
+            valid = (counts >= min_leaf) & (counts <= len(idx) - min_leaf)
+            valid &= np.r_[xs[:-1] != xs[1:], False]
+            if not valid.any():
+                continue
+            gain[~valid] = -np.inf
+            j = int(np.argmax(gain))
+            if best is None or gain[j] > best[0]:
+                best = (gain[j], f, float((xs[j] + xs[j + 1]) / 2.0))
+        if best is None:
+            return node
+        _, f, thr = best
+        left = idx[X[idx, f] <= thr]
+        right = idx[X[idx, f] > thr]
+        node.update(
+            feat=int(f),
+            thr=thr,
+            left=build(left, d - 1),
+            right=build(right, d - 1),
+        )
+        return node
+
+    return build(np.arange(n_rows), depth)
+
+
+def _tree_predict(tree: Dict, X: np.ndarray) -> np.ndarray:
+    """Vectorized evaluation of one nested-dict tree."""
+    out = np.empty(len(X))
+
+    def walk(node: Dict, idx: np.ndarray) -> None:
+        if "feat" not in node:
+            out[idx] = node["value"]
+            return
+        mask = X[idx, node["feat"]] <= node["thr"]
+        walk(node["left"], idx[mask])
+        walk(node["right"], idx[~mask])
+
+    walk(tree, np.arange(len(X)))
+    return out
+
+
+@dataclass
+class RankingModel:
+    """A fitted ridge + boosted-trees model that scores and ranks tile
+    configurations (trees empty = pure ridge)."""
+
+    weights: np.ndarray
+    mean: np.ndarray
+    scale: np.ndarray
+    intercept: float
+    l2: float = 1.0
+    #: gradient-boosted correction trees over the *standardised*
+    #: features (nested dicts, see :func:`_fit_tree`); empty list means
+    #: a pure ridge model
+    trees: List[Dict] = field(default_factory=list)
+    #: shrinkage applied to every tree's contribution
+    learn_rate: float = 0.1
+    feature_names: List[str] = field(default_factory=lambda: list(FEATURE_NAMES))
+    #: training provenance: document/row counts, in-sample R², hit@k
+    meta: Dict = field(default_factory=dict)
+
+    # -- fitting -------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        X: np.ndarray,
+        y: np.ndarray,
+        l2: float = 1.0,
+        rounds: int = 200,
+        depth: int = 3,
+        min_leaf: int = 8,
+        learn_rate: float = 0.1,
+    ) -> "RankingModel":
+        """Closed-form ridge fit, then ``rounds`` boosted trees on the
+        residual (``rounds=0`` for the pure linear model)."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise ValueError(
+                f"need matching non-empty X/y, got {X.shape} and {y.shape}"
+            )
+        mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        Xs = (X - mean) / scale
+        gram = Xs.T @ Xs + l2 * np.eye(X.shape[1])
+        intercept = float(y.mean())
+        weights = np.linalg.solve(gram, Xs.T @ (y - intercept))
+        residual = y - (Xs @ weights + intercept)
+        trees: List[Dict] = []
+        boosted = np.zeros(len(y))
+        for _ in range(rounds):
+            # a corpus below the min-leaf floor yields root-only leaves
+            # whose residual mean is ~0 after the first round: the
+            # boosting stage self-extinguishes and ridge alone remains
+            tree = _fit_tree(Xs, residual - boosted, depth, min_leaf)
+            trees.append(tree)
+            boosted += learn_rate * _tree_predict(tree, Xs)
+        return cls(
+            weights=weights,
+            mean=mean,
+            scale=scale,
+            intercept=intercept,
+            l2=l2,
+            trees=trees,
+            learn_rate=learn_rate,
+        )
+
+    # -- prediction ----------------------------------------------------
+    def predict_rows(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        Xs = (X - self.mean) / self.scale
+        pred = Xs @ self.weights + self.intercept
+        for tree in self.trees:
+            pred += self.learn_rate * _tree_predict(tree, Xs)
+        return pred
+
+    def score_configs(
+        self,
+        family: str,
+        arch: GPUArch,
+        space: Sequence[Config],
+        size: int,
+    ) -> np.ndarray:
+        """Predicted relative performance of every config in ``space``."""
+        if not space:
+            return np.zeros(0)
+        X = np.array([featurize(family, arch, cfg, size) for cfg in space])
+        return self.predict_rows(X)
+
+    def rank_configs(
+        self,
+        family: str,
+        arch: GPUArch,
+        space: Sequence[Config],
+        size: int,
+    ) -> List[int]:
+        """Indices into ``space``, best predicted config first.
+
+        Ties break deterministically on the config knobs, so the same
+        model and space always produce the same top-k — the property the
+        reproducible-corpus requirement needs.
+        """
+        scores = self.score_configs(family, arch, space, size)
+        return sorted(
+            range(len(space)),
+            key=lambda i: (-scores[i], _config_order_key(space[i])),
+        )
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the model document (atomic enough for its single-writer
+        use: the file is small and written in one call)."""
+        path = Path(path)
+        if path.is_dir():
+            path = path / MODEL_FILENAME
+        doc = {
+            "format": PREDICTOR_FORMAT,
+            "l2": self.l2,
+            "intercept": self.intercept,
+            "feature_names": list(self.feature_names),
+            "mean": [float(v) for v in self.mean],
+            "scale": [float(v) for v in self.scale],
+            "weights": [float(v) for v in self.weights],
+            "trees": self.trees,
+            "learn_rate": self.learn_rate,
+            "meta": self.meta,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(doc, indent=1))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RankingModel":
+        """Rebuild a model from disk; raises on any problem."""
+        path = Path(path)
+        if path.is_dir():
+            path = path / MODEL_FILENAME
+        doc = json.loads(path.read_text())
+        if not isinstance(doc, dict) or doc.get("format") != PREDICTOR_FORMAT:
+            raise ValueError(
+                f"unsupported predictor format {doc.get('format')!r} in {path}"
+            )
+        names = list(doc["feature_names"])
+        weights = np.asarray(doc["weights"], dtype=np.float64)
+        mean = np.asarray(doc["mean"], dtype=np.float64)
+        scale = np.asarray(doc["scale"], dtype=np.float64)
+        if names != FEATURE_NAMES or not (
+            len(weights) == len(mean) == len(scale) == len(names)
+        ):
+            raise ValueError(f"predictor feature set mismatch in {path}")
+        trees = doc.get("trees", [])
+        if not isinstance(trees, list) or not all(
+            isinstance(t, dict) for t in trees
+        ):
+            raise ValueError(f"malformed predictor trees in {path}")
+        return cls(
+            weights=weights,
+            mean=mean,
+            scale=scale,
+            intercept=float(doc["intercept"]),
+            l2=float(doc.get("l2", 1.0)),
+            trees=trees,
+            learn_rate=float(doc.get("learn_rate", 0.1)),
+            feature_names=names,
+            meta=dict(doc.get("meta", {})),
+        )
+
+    @classmethod
+    def try_load(cls, path: Union[str, Path]) -> Optional["RankingModel"]:
+        """Like :meth:`load`, but any problem (missing file, corruption,
+        feature-set mismatch) reads as "no model available"."""
+        try:
+            return cls.load(path)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+
+@dataclass
+class TrainingReport:
+    """Outcome of one :func:`train_model` run."""
+
+    model: RankingModel
+    docs: int
+    rows: int
+    r2: float
+    #: k → fraction of held-out documents whose true winner landed in
+    #: the model's top-k (leave-one-document-out)
+    hit_at_k: Dict[int, float]
+    #: per-document rows for reporting: (routine, arch name, hit?)
+    per_doc: List[Tuple[str, str, bool]] = field(default_factory=list)
+
+
+def _doc_matrix(doc: Dict) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Feature matrix, normalised target and raw GFLOPS for one score
+    document (see :func:`~repro.tuner.predictor.corpus.score_docs`)."""
+    from .corpus import doc_rows
+
+    configs, gflops = doc_rows(doc)
+    X = np.array(
+        [featurize(doc["family"], doc["arch_obj"], cfg, doc["tune_size"]) for cfg in configs]
+    )
+    g = np.asarray(gflops, dtype=np.float64)
+    top = g.max() if len(g) and g.max() > 0 else 1.0
+    return X, g / top, g
+
+
+#: Exponent applied to the per-document-normalised target before
+#: fitting: squaring stretches the gap between the near-winners and the
+#: mid-field, which is exactly the region ranking quality lives in.
+TARGET_POWER = 2.0
+
+
+def train_model(
+    docs: Sequence[Dict],
+    l2: float = 1.0,
+    k: Union[int, Sequence[int]] = 8,
+    rounds: int = 200,
+    depth: int = 3,
+    min_leaf: int = 8,
+    learn_rate: float = 0.1,
+) -> TrainingReport:
+    """Fit the ranking model on a score corpus and evaluate hit@k.
+
+    ``docs`` are resolved score documents from
+    :func:`~repro.tuner.predictor.corpus.score_docs`.  The final model is
+    fitted on every row; hit@k is measured honestly by
+    leave-one-document-out — for each *complete* document, a model
+    trained on all the others ranks that document's space, and a hit
+    means the document's true winner made the top-k.
+    """
+    ks = [k] if isinstance(k, int) else list(k)
+    if not docs:
+        raise ValueError("empty score corpus: nothing to train on")
+    boost = {
+        "rounds": rounds,
+        "depth": depth,
+        "min_leaf": min_leaf,
+        "learn_rate": learn_rate,
+    }
+    matrices = [_doc_matrix(doc) for doc in docs]
+    X_all = np.vstack([m[0] for m in matrices])
+    y_all = np.concatenate([m[1] for m in matrices]) ** TARGET_POWER
+
+    hits = {kk: 0 for kk in ks}
+    per_doc: List[Tuple[str, str, bool]] = []
+    evaluable = [i for i, doc in enumerate(docs) if doc.get("complete", True)]
+    for i in evaluable:
+        rest = [j for j in range(len(docs)) if j != i]
+        if not rest:
+            break
+        model_i = RankingModel.fit(
+            np.vstack([matrices[j][0] for j in rest]),
+            np.concatenate([matrices[j][1] for j in rest]) ** TARGET_POWER,
+            l2=l2,
+            **boost,
+        )
+        X, _, g = matrices[i]
+        preds = model_i.predict_rows(X)
+        order = np.asarray(sorted(range(len(g)), key=lambda r: (-preds[r], r)))
+        best = g.max()
+        doc_hit = False
+        for kk in ks:
+            hit = len(g) > 0 and g[order[:kk]].max() >= best * (1 - 1e-9)
+            hits[kk] += hit
+            if kk == ks[0]:
+                doc_hit = hit
+        per_doc.append((docs[i]["routine"], docs[i]["arch_name"], doc_hit))
+
+    model = RankingModel.fit(X_all, y_all, l2=l2, **boost)
+    pred = model.predict_rows(X_all)
+    ss_res = float(((y_all - pred) ** 2).sum())
+    ss_tot = float(((y_all - y_all.mean()) ** 2).sum()) or 1.0
+    n_eval = max(1, len(per_doc))
+    model.meta = {
+        "docs": len(docs),
+        "rows": int(len(y_all)),
+        "r2": round(1.0 - ss_res / ss_tot, 4),
+        "hit_at_k": {str(kk): round(hits[kk] / n_eval, 4) for kk in ks},
+        "boost": dict(boost),
+        "target_power": TARGET_POWER,
+    }
+    return TrainingReport(
+        model=model,
+        docs=len(docs),
+        rows=int(len(y_all)),
+        r2=1.0 - ss_res / ss_tot,
+        hit_at_k={kk: hits[kk] / n_eval for kk in ks},
+        per_doc=per_doc,
+    )

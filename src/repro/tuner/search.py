@@ -19,6 +19,13 @@ their :class:`~repro.epod.translator.EpodTranslator` and
 the returned scores in the exact (candidate, config) submission order,
 so the winner is bit-identical to the sequential run.  ``jobs=1``
 preserves the single-threaded code path unchanged.
+
+With a trained cost model (:mod:`repro.tuner.predictor`) and a ``topk``
+budget the search stops being exhaustive: the model ranks the pruned
+space and only the top-k configurations are evaluated, with an
+exact-fallback guard widening to the rest of the space when every
+predicted pick fails.  Counters: ``predictor.rank``,
+``search.units_skipped``, ``predictor.exact_fallback``.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ __all__ = [
     "CandidateScore",
     "VariantSearch",
     "CURATED_SPACE",
+    "rank_key",
     "resolve_jobs",
 ]
 
@@ -85,17 +93,38 @@ class CandidateScore:
         return not self.error and self.gflops > 0
 
 
+def rank_key(score: CandidateScore) -> Tuple:
+    """Total ordering for score rankings: GFLOPS descending, ties broken
+    on the config knobs and the script's provenance.
+
+    A bare ``-gflops`` key is unstable across runs whenever two units
+    model identically (common on the power-of-two lattice), which made
+    top-k corpora and verified-winner walks depend on sort incidentals.
+    """
+    return (
+        -score.gflops,
+        tuple(sorted(score.config.items())),
+        score.script.provenance,
+    )
+
+
 @dataclass
 class SearchResult:
     routine: str
     arch: GPUArch
     best: CandidateScore
     scores: List[CandidateScore] = field(default_factory=list)
+    #: whether every (script, config) unit of the pruned space was
+    #: evaluated (False for a model-guided top-k search)
+    complete: bool = True
+    #: the top-k budget the search ran under (``None`` = exhaustive)
+    topk: Optional[int] = None
+    #: units actually scored (≤ candidates × configs when top-k)
+    units_evaluated: int = 0
 
     def top(self, n: int = 5) -> List[CandidateScore]:
-        return sorted(
-            (s for s in self.scores if s.ok), key=lambda s: -s.gflops
-        )[:n]
+        """Best ``n`` scores in deterministic order (see :func:`rank_key`)."""
+        return sorted((s for s in self.scores if s.ok), key=rank_key)[:n]
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -219,7 +248,12 @@ def _worker_eval(unit: Tuple[int, int]):
 
 
 class VariantSearch:
-    """Exhaustive (script × config) search scored by the analytic model."""
+    """(script × config) search scored by the analytic model — exhaustive
+    by default, model-guided top-k with a trained predictor."""
+
+    #: k for the online ``predictor.hit_at_k`` quality signal when an
+    #: exhaustive sweep runs with a model present but no explicit budget.
+    HITK_DEFAULT = 16
 
     def __init__(
         self,
@@ -230,6 +264,7 @@ class VariantSearch:
         jobs: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
         options: Optional[TuningOptions] = None,
+        predictor=None,
     ):
         options = resolve_options(
             options,
@@ -250,9 +285,33 @@ class VariantSearch:
         self.gpu = SimulatedGPU(arch)
         self.jobs = resolve_jobs(options.jobs)
         self.telemetry = ensure_telemetry(telemetry)
+        self.topk = options.topk
+        #: the learned cost model ranking the space (see
+        #: :mod:`repro.tuner.predictor`); loaded from ``cache_dir`` when
+        #: not handed in, ``None`` when no trained model exists.
+        self.predictor = predictor
+        if self.predictor is None and options.cache_dir is not None:
+            from .predictor import RankingModel
+
+            self.predictor = RankingModel.try_load(options.cache_dir)
         #: ``"Type: message"`` of the last pool failure that forced the
         #: sequential fallback (``None`` while the pool behaves).
         self.last_pool_error: Optional[str] = None
+
+    def _rank_space(
+        self, routine_name: str, sizes: Dict[str, int]
+    ) -> Optional[List[Config]]:
+        """The model's ranking of the pruned space, best first, or
+        ``None`` when no model is available."""
+        from ..blas3.routines import get_spec
+
+        if self.predictor is None:
+            return None
+        family = get_spec(routine_name).variant.family
+        size = max(sizes.values())
+        order = self.predictor.rank_configs(family, self.arch, self.space, size)
+        self.telemetry.incr("predictor.rank")
+        return [self.space[i] for i in order]
 
     def search(
         self,
@@ -263,7 +322,17 @@ class VariantSearch:
         nominal_flops: float = 0.0,
         keep_all: bool = False,
         jobs: Optional[int] = None,
+        topk: Optional[int] = None,
     ) -> SearchResult:
+        """Score the (script × config) space and pick the best unit.
+
+        With a trained cost model and a ``topk`` budget (per-call, else
+        ``TuningOptions.topk``) only the model's top-k configurations are
+        evaluated; ``topk=0`` forces the exhaustive sweep.  The
+        exact-fallback guard: if none of the predicted candidates is
+        feasible, the remaining space is evaluated after all — a wrong
+        model costs one exhaustive search, never a missing routine.
+        """
         from ..blas3.routines import get_spec
 
         spec = get_spec(routine_name)
@@ -272,6 +341,11 @@ class VariantSearch:
         jobs = resolve_jobs(jobs) if jobs is not None else self.jobs
 
         candidates = list(candidates)
+        budget = self.topk if topk is None else (topk or None)
+        ranked = None
+        if budget is not None and budget < len(self.space):
+            ranked = self._rank_space(routine_name, sizes)
+        space = ranked[:budget] if ranked is not None else list(self.space)
         n_units = len(candidates) * len(self.space)
         with self.telemetry.span(
             "search",
@@ -280,44 +354,102 @@ class VariantSearch:
             configs=len(self.space),
             units=n_units,
             jobs=jobs,
+            topk=budget if ranked is not None else None,
         ) as sp:
-            if jobs > 1 and n_units > 1:
-                scored = self._search_parallel(
-                    source, candidates, sizes, nominal, min(jobs, n_units)
+            scores, best = self._evaluate_space(
+                source, candidates, space, sizes, nominal, jobs, keep_all
+            )
+            if best is None and ranked is not None:
+                # Exact-fallback guard: the model's picks all failed;
+                # widen to the configurations it skipped.
+                self.telemetry.incr("predictor.exact_fallback")
+                sp.tags["exact_fallback"] = True
+                rest = ranked[len(space):]
+                more, best = self._evaluate_space(
+                    source, candidates, rest, sizes, nominal, jobs, keep_all
                 )
-            else:
-                scored = (
-                    _evaluate_unit(
-                        self.gpu,
-                        source,
-                        candidate,
-                        config,
-                        sizes,
-                        nominal,
-                        metrics=self.telemetry.metrics,
-                    )
-                    for candidate in candidates
-                    for config in self.space
-                )
-
-            scores: List[CandidateScore] = []
-            best: Optional[CandidateScore] = None
-            for score in scored:
-                if keep_all or score.ok:
-                    scores.append(score)
-                if score.ok and (best is None or score.gflops > best.gflops):
-                    best = score
+                scores.extend(more)
+                space = ranked
+            evaluated = len(candidates) * len(space)
+            skipped = n_units - evaluated
+            if skipped:
+                self.telemetry.incr("search.units_skipped", skipped)
+                sp.tags["units_skipped"] = skipped
             if best is None:
                 raise RuntimeError(
                     f"no feasible (script, config) for {routine_name} on {self.arch.name}"
                 )
             sp.tags["best_gflops"] = best.gflops
-            return SearchResult(routine_name, self.arch, best, scores)
+            complete = len(space) == len(self.space)
+            if complete and self.predictor is not None:
+                # Online quality signal: the sweep was exhaustive, so the
+                # true winner is known — did the model's top-k contain it?
+                if ranked is None:
+                    ranked = self._rank_space(routine_name, sizes)
+                k = budget if budget is not None else self.HITK_DEFAULT
+                hit = best.config in ranked[:k]
+                self.telemetry.incr(
+                    "predictor.hit_at_k" if hit else "predictor.miss_at_k"
+                )
+                sp.tags["predictor_hit_at_k"] = hit
+            return SearchResult(
+                routine_name,
+                self.arch,
+                best,
+                scores,
+                complete=complete,
+                topk=budget if not complete else None,
+                units_evaluated=evaluated,
+            )
+
+    def _evaluate_space(
+        self,
+        source: Computation,
+        candidates: List[ComposedScript],
+        space: List[Config],
+        sizes: Dict[str, int],
+        nominal: float,
+        jobs: int,
+        keep_all: bool,
+    ) -> Tuple[List[CandidateScore], Optional[CandidateScore]]:
+        """Score every (candidate, config) unit of ``space`` and reduce.
+
+        The reduction keeps the first-best in submission order, so the
+        winner is deterministic for a given evaluation order.
+        """
+        n_units = len(candidates) * len(space)
+        if jobs > 1 and n_units > 1:
+            scored = self._search_parallel(
+                source, candidates, space, sizes, nominal, min(jobs, n_units)
+            )
+        else:
+            scored = (
+                _evaluate_unit(
+                    self.gpu,
+                    source,
+                    candidate,
+                    config,
+                    sizes,
+                    nominal,
+                    metrics=self.telemetry.metrics,
+                )
+                for candidate in candidates
+                for config in space
+            )
+        scores: List[CandidateScore] = []
+        best: Optional[CandidateScore] = None
+        for score in scored:
+            if keep_all or score.ok:
+                scores.append(score)
+            if score.ok and (best is None or score.gflops > best.gflops):
+                best = score
+        return scores, best
 
     def _search_parallel(
         self,
         source: Computation,
         candidates: List[ComposedScript],
+        space: List[Config],
         sizes: Dict[str, int],
         nominal: float,
         workers: int,
@@ -338,14 +470,14 @@ class VariantSearch:
         units = [
             (ci, ki)
             for ci in range(len(candidates))
-            for ki in range(len(self.space))
+            for ki in range(len(space))
         ]
         chunksize = max(1, len(units) // (workers * 4))
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_worker_init,
-                initargs=(self.arch, source, candidates, self.space, sizes, nominal),
+                initargs=(self.arch, source, candidates, space, sizes, nominal),
             ) as pool:
                 raw = list(pool.map(_worker_eval, units, chunksize=chunksize))
         except Exception as exc:
@@ -367,7 +499,7 @@ class VariantSearch:
                     metrics=self.telemetry.metrics,
                 )
                 for candidate in candidates
-                for config in self.space
+                for config in space
             ]
         scores = []
         for ci, ki, gflops, error, applied_key, run, comp, counters in raw:
@@ -375,7 +507,7 @@ class VariantSearch:
             scores.append(
                 CandidateScore(
                     candidates[ci],
-                    self.space[ki],
+                    space[ki],
                     gflops,
                     run=run,
                     comp=comp,

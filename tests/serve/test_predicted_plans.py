@@ -1,0 +1,163 @@
+"""Tests for instant predicted plans in the serving runtime: a
+deadline-bound cold request is answered from the cost model's top config
+instead of degrading to the baseline, the real tuned plan is promoted
+after background tuning, and ``warm()`` raises a contextful error when no
+plan can be resolved."""
+
+import numpy as np
+import pytest
+
+from repro.blas3 import random_inputs, reference
+from repro.gpu import GTX_285
+from repro.serve import BlasService, PlanUnavailableError, ServeOptions
+from repro.telemetry import Telemetry
+from repro.tuner import TuningCache, TuningOptions, score_docs, train_model
+
+SPACE = [
+    {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
+    {"BM": 32, "BN": 16, "KT": 8, "TX": 16, "TY": 2},
+    {"BM": 64, "BN": 16, "KT": 16, "TX": 16, "TY": 4},
+    {"BM": 32, "BN": 32, "KT": 8, "TX": 32, "TY": 2},
+]
+
+GEMM_SIZES = {"M": 32, "N": 32, "K": 32}
+
+
+def model_dir(tmp_path):
+    """A cache dir holding a model trained on a synthetic corpus."""
+    cache = TuningCache(tmp_path)
+    records = [
+        {
+            "config": dict(cfg),
+            "gflops": float(cfg["BM"] * cfg["KT"]),
+            "ok": True,
+            "error": "",
+            "occupancy": 0.5,
+            "provenance": "seq:0",
+        }
+        for cfg in SPACE
+    ]
+    for i, routine in enumerate(("GEMM-NN", "SYMM-LL")):
+        cache.store_scores(
+            f"{i:024d}", routine, routine.split("-")[0], GTX_285, 4096, records
+        )
+    report = train_model(score_docs(cache), k=2)
+    report.model.save(tmp_path)
+    return tmp_path
+
+
+def make_service(cache_dir, **serve_kwargs):
+    return BlasService(
+        GTX_285,
+        options=ServeOptions(**serve_kwargs),
+        tuning=TuningOptions(space=SPACE, cache_dir=cache_dir),
+        telemetry=Telemetry(),
+    )
+
+
+class TestPredictedPlans:
+    def test_deadline_bound_cold_request_served_from_prediction(self, tmp_path):
+        service = make_service(model_dir(tmp_path), background_promotion=False)
+        inputs = random_inputs("GEMM-NN", GEMM_SIZES, seed=1)
+        pending = service.submit("GEMM-NN", deadline_s=30.0, **inputs)
+        service.flush()
+        response = pending.result()
+        # served as tuned — not the "no-plan" baseline degradation
+        assert response.source == "tuned"
+        assert response.fallback_reason is None
+        counters = service.telemetry.metrics.snapshot()
+        assert counters["serve.predicted_plans"] == 1
+        assert counters.get("serve.fallbacks", 0) == 0
+        assert counters.get("serve.tuned", 0) == 0  # no search ran
+        plan = next(iter(service.table._plans.values()))
+        assert plan.predicted
+        # predicted plans are cheap-verified: the answer is still correct
+        np.testing.assert_allclose(
+            response.output, reference("GEMM-NN", inputs), rtol=3e-3, atol=3e-3
+        )
+
+    def test_without_model_degrades_to_no_plan(self, tmp_path):
+        service = make_service(tmp_path)  # cache dir exists, no model
+        inputs = random_inputs("GEMM-NN", GEMM_SIZES, seed=2)
+        pending = service.submit("GEMM-NN", deadline_s=30.0, **inputs)
+        service.flush()
+        response = pending.result()
+        assert response.source == "fallback"
+        assert response.fallback_reason == "no-plan"
+        assert service.telemetry.count("serve.predicted_plans") == 0
+
+    def test_option_off_degrades_to_no_plan(self, tmp_path):
+        service = make_service(model_dir(tmp_path), predicted_plans=False)
+        inputs = random_inputs("GEMM-NN", GEMM_SIZES, seed=3)
+        pending = service.submit("GEMM-NN", deadline_s=30.0, **inputs)
+        service.flush()
+        response = pending.result()
+        assert response.source == "fallback"
+        assert response.fallback_reason == "no-plan"
+
+    def test_no_deadline_still_tunes_inline(self, tmp_path):
+        service = make_service(model_dir(tmp_path))
+        inputs = random_inputs("GEMM-NN", GEMM_SIZES, seed=4)
+        service.run("GEMM-NN", **inputs)
+        counters = service.telemetry.metrics.snapshot()
+        assert counters["serve.tuned"] == 1
+        assert counters.get("serve.predicted_plans", 0) == 0
+
+
+class TestBackgroundPromotion:
+    def test_predicted_plan_promoted_after_background_tune(self, tmp_path):
+        service = make_service(model_dir(tmp_path))
+        inputs = random_inputs("GEMM-NN", GEMM_SIZES, seed=5)
+        first = service.submit("GEMM-NN", deadline_s=30.0, **inputs)
+        service.flush()
+        assert first.result().source == "tuned"
+        service.join_background(timeout=120)
+        counters = service.telemetry.metrics.snapshot()
+        assert counters["serve.background_tuned"] == 1
+
+        second = service.submit("GEMM-NN", deadline_s=30.0, **inputs)
+        service.flush()
+        response = second.result()
+        assert response.source == "tuned"
+        counters = service.telemetry.metrics.snapshot()
+        assert counters["serve.plan.promoted"] == 1
+        plan = next(iter(service.table._plans.values()))
+        assert not plan.predicted  # the real plan replaced the prediction
+        assert plan.tuned.search is not None  # it came from a full search
+        np.testing.assert_allclose(
+            response.output, reference("GEMM-NN", inputs), rtol=3e-3, atol=3e-3
+        )
+
+    def test_promotion_off_keeps_serving_the_prediction(self, tmp_path):
+        service = make_service(model_dir(tmp_path), background_promotion=False)
+        inputs = random_inputs("GEMM-NN", GEMM_SIZES, seed=6)
+        for _ in range(2):
+            pending = service.submit("GEMM-NN", deadline_s=30.0, **inputs)
+            service.flush()
+            assert pending.result().source == "tuned"
+        service.join_background(timeout=5)
+        counters = service.telemetry.metrics.snapshot()
+        assert counters.get("serve.background_tuned", 0) == 0
+        assert counters.get("serve.plan.promoted", 0) == 0
+        plan = next(iter(service.table._plans.values()))
+        assert plan.predicted
+
+
+class TestWarmErrors:
+    def test_warm_raises_contextful_error(self, monkeypatch):
+        service = make_service(None)
+        monkeypatch.setattr(
+            service, "_resolve_plan", lambda request: (None, "no-plan")
+        )
+        with pytest.raises(PlanUnavailableError) as excinfo:
+            service.warm("GEMM-NN", 32)
+        err = excinfo.value
+        assert err.routine == "GEMM-NN"
+        assert err.bucket == 32
+        assert err.reason == "no-plan"
+        assert "GEMM-NN" in str(err) and "32" in str(err)
+
+    def test_warm_error_is_a_runtime_error(self):
+        # callers catching the old assert's AssertionError never existed;
+        # RuntimeError keeps except-clauses on the broad class working
+        assert issubclass(PlanUnavailableError, RuntimeError)

@@ -62,6 +62,22 @@ class TestCli:
         )
         assert "GFLOPS" in capsys.readouterr().out
         assert list(tmp_path.glob("routine-*.json"))  # cache populated
+        assert list(tmp_path.glob("scores-*.json"))  # corpus recorded
+
+    def test_topk_flag_reaches_tuning_options(self, monkeypatch):
+        from repro import cli
+
+        seen = {}
+
+        class _Probe:
+            def __init__(self, arch, telemetry=None, options=None):
+                seen["topk"] = options.topk
+                raise SystemExit(0)
+
+        monkeypatch.setattr(cli, "OAFramework", _Probe)
+        with pytest.raises(SystemExit):
+            main(["generate", "GEMM-NN", "--topk", "4"])
+        assert seen["topk"] == 4
 
     def test_no_cache_flag_suppresses_cache(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
@@ -265,3 +281,53 @@ class TestCompareRatios:
         monkeypatch.setattr(cli, "cublas_gflops", lambda *a, **k: 1e6)
         assert main(["compare", "GEMM-NN", "--arch", "gtx285", "-n", "512"]) == 0
         assert "x faster" in capsys.readouterr().out
+
+
+class TestTrainModelCli:
+    def _build_corpus(self, cache_dir):
+        from repro.gpu import GTX_285
+        from repro.tuner import TuningCache
+
+        space = [
+            {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
+            {"BM": 32, "BN": 16, "KT": 8, "TX": 16, "TY": 2},
+            {"BM": 64, "BN": 16, "KT": 16, "TX": 16, "TY": 4},
+        ]
+        cache = TuningCache(cache_dir)
+        for i, routine in enumerate(("GEMM-NN", "SYMM-LL")):
+            cache.store_scores(
+                f"{i:024d}",
+                routine,
+                routine.split("-")[0],
+                GTX_285,
+                4096,
+                [
+                    {
+                        "config": dict(cfg),
+                        "gflops": float(cfg["BM"] * cfg["KT"]),
+                        "ok": True,
+                        "error": "",
+                        "occupancy": 0.5,
+                        "provenance": "seq:0",
+                    }
+                    for cfg in space
+                ],
+            )
+
+    def test_train_model_fits_and_saves(self, capsys, tmp_path):
+        from repro.tuner import RankingModel
+
+        self._build_corpus(tmp_path)
+        assert main(["train-model", "--cache-dir", str(tmp_path), "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hit@2" in out and "model saved" in out
+        assert RankingModel.try_load(tmp_path) is not None
+
+    def test_train_model_without_cache_dir_fails(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["train-model"]) == 1
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_train_model_empty_corpus_fails(self, capsys, tmp_path):
+        assert main(["train-model", "--cache-dir", str(tmp_path)]) == 1
+        assert "no score documents" in capsys.readouterr().err

@@ -7,6 +7,7 @@ import numpy as np
 
 from repro.blas3 import random_inputs, reference
 from repro.gpu import FERMI_C2050, GTX_285
+from repro.telemetry import Telemetry
 from repro.tuner import LibraryGenerator, TuningCache, TuningOptions, space_fingerprint
 
 SMALL_SPACE = [
@@ -211,6 +212,44 @@ class TestConcurrentVerdicts:
         cache.store_verdicts("k1", {"a": True, "c": True})
         assert cache.load_verdicts("k1") == {"a": True, "b": False, "c": True}
 
+class TestFailureCounters:
+    """Regression: _read/_write failures used to be fully silent — a
+    corrupted cache or a read-only directory degraded correctly but
+    invisibly.  They now count as ``cache.corrupt`` / ``cache.write_error``
+    without changing the degradation behaviour."""
+
+    def test_corrupt_document_counts(self, tmp_path):
+        telemetry = Telemetry()
+        (tmp_path / "routine-GEMM-NN-deadbeef.json").write_text("{broken")
+        cache = TuningCache(tmp_path, telemetry=telemetry)
+        assert cache.load_routine("deadbeef", "GEMM-NN", GTX_285) is None
+        assert telemetry.count("cache.corrupt") == 1
+
+    def test_non_object_document_counts(self, tmp_path):
+        telemetry = Telemetry()
+        (tmp_path / "routine-GEMM-NN-deadbeef.json").write_text("[1, 2, 3]")
+        cache = TuningCache(tmp_path, telemetry=telemetry)
+        assert cache.load_routine("deadbeef", "GEMM-NN", GTX_285) is None
+        assert telemetry.count("cache.corrupt") == 1
+
+    def test_missing_file_is_a_plain_miss_not_corruption(self, tmp_path):
+        telemetry = Telemetry()
+        cache = TuningCache(tmp_path, telemetry=telemetry)
+        assert cache.load_routine("deadbeef", "GEMM-NN", GTX_285) is None
+        assert telemetry.count("cache.corrupt") == 0
+
+    def test_write_error_counts(self, tmp_path):
+        # a cache dir whose parent is a regular file cannot be created,
+        # no matter the uid (chmod-based setups are invisible to root)
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        telemetry = Telemetry()
+        cache = TuningCache(blocker / "cache", telemetry=telemetry)
+        cache.store_verdicts("k1", {"a": True})  # must not raise
+        assert telemetry.count("cache.write_error") == 1
+
+
+class TestConcurrentVerdictsLockDegradation:
     def test_lock_degrades_in_readonly_dir(self, tmp_path):
         # chmod can't stop root, so only the no-raise degradation is
         # portable here; the no-caching outcome is covered by

@@ -1,0 +1,351 @@
+"""Tests for the learned cost model (tuner/predictor/) and its search
+integration: featurization, training on a tiny synthetic corpus (the CI
+smoke test), model persistence, top-k search with the exact-fallback
+guard, instant predicted plans, and deterministic rankings."""
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.gpu import FERMI_C2050, GTX_285
+from repro.telemetry import Telemetry
+from repro.tuner import (
+    LibraryGenerator,
+    RankingModel,
+    SearchResult,
+    TuningCache,
+    TuningOptions,
+    VariantSearch,
+    rank_key,
+    score_docs,
+    train_model,
+)
+from repro.tuner.predictor import FEATURE_NAMES, MODEL_FILENAME, featurize
+
+SMALL_SPACE = [
+    {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
+    {"BM": 32, "BN": 16, "KT": 8, "TX": 16, "TY": 2},
+    {"BM": 64, "BN": 16, "KT": 16, "TX": 16, "TY": 4},
+    {"BM": 32, "BN": 32, "KT": 8, "TX": 32, "TY": 2},
+]
+
+#: Oversized tiles: shared memory alone blows the GTX 285 budget, so the
+#: analytic model reports infeasible occupancy for every family.
+INFEASIBLE = {"BM": 256, "BN": 256, "KT": 64, "TX": 16, "TY": 16}
+
+
+def synthetic_corpus(cache, arch=GTX_285, routines=("GEMM-NN", "SYMM-LL")):
+    """Store fabricated score documents: gflops rises with BM·KT (a
+    smooth function of the log2 knob features ridge can learn)."""
+    for i, routine in enumerate(routines):
+        records = []
+        for cfg in SMALL_SPACE:
+            records.append(
+                {
+                    "config": dict(cfg),
+                    "gflops": float(cfg["BM"] * cfg["KT"]) + 5.0 * i,
+                    "ok": True,
+                    "error": "",
+                    "occupancy": 0.5,
+                    "provenance": "seq:0",
+                }
+            )
+        cache.store_scores(
+            f"key{i:024d}"[:24],
+            routine,
+            routine.split("-")[0],
+            arch,
+            4096,
+            records,
+            complete=True,
+        )
+
+
+def trained_model_dir(tmp_path):
+    """A cache dir holding a model trained on the synthetic corpus."""
+    cache = TuningCache(tmp_path)
+    synthetic_corpus(cache)
+    report = train_model(score_docs(cache), k=2)
+    report.model.save(tmp_path)
+    return tmp_path
+
+
+class TestFeaturize:
+    def test_vector_matches_names(self):
+        vec = featurize("GEMM", GTX_285, SMALL_SPACE[0], 4096)
+        assert len(vec) == len(FEATURE_NAMES)
+        assert all(isinstance(v, float) for v in vec)
+
+    def test_deterministic(self):
+        a = featurize("TRSM", FERMI_C2050, SMALL_SPACE[2], 1024)
+        b = featurize("TRSM", FERMI_C2050, dict(SMALL_SPACE[2]), 1024)
+        assert a == b
+
+    def test_family_one_hot(self):
+        gemm = featurize("GEMM", GTX_285, SMALL_SPACE[0], 4096)
+        trsm = featurize("TRSM", GTX_285, SMALL_SPACE[0], 4096)
+        assert gemm != trsm  # only the one-hot tail differs
+        assert gemm[: -4] == trsm[: -4]
+
+
+class TestTraining:
+    def test_smoke_train_on_tiny_synthetic_corpus(self, tmp_path):
+        """The CI smoke test: corpus → train → rank, end to end."""
+        cache = TuningCache(tmp_path)
+        synthetic_corpus(cache)
+        report = train_model(score_docs(cache), k=2)
+        assert report.docs == 2
+        assert report.rows == 2 * len(SMALL_SPACE)
+        # the target is a smooth function of one feature: ridge nails it
+        assert report.r2 > 0.9
+        assert report.hit_at_k[2] == 1.0
+        # the learned ranking puts the true winner (largest reg tile) first
+        order = report.model.rank_configs("GEMM", GTX_285, SMALL_SPACE, 4096)
+        assert order[0] == 2
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            train_model([])
+
+    def test_incomplete_docs_train_but_do_not_anchor_hit_at_k(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        synthetic_corpus(cache)
+        cache.store_scores(
+            "incompletekey0000000000a",
+            "TRMM-LL-N",
+            "TRMM",
+            GTX_285,
+            4096,
+            [
+                {
+                    "config": dict(SMALL_SPACE[0]),
+                    "gflops": 10.0,
+                    "ok": True,
+                    "error": "",
+                    "occupancy": 0.5,
+                    "provenance": "seq:0",
+                }
+            ],
+            complete=False,
+        )
+        report = train_model(score_docs(cache), k=2)
+        assert report.docs == 3  # all three docs contribute rows
+        assert len(report.per_doc) == 2  # only complete ones are held out
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = trained_model_dir(tmp_path)
+        loaded = RankingModel.load(path)
+        original = RankingModel.try_load(path)
+        np.testing.assert_array_equal(loaded.weights, original.weights)
+        assert loaded.meta["docs"] == 2
+        a = loaded.rank_configs("GEMM", GTX_285, SMALL_SPACE, 4096)
+        b = original.rank_configs("GEMM", GTX_285, SMALL_SPACE, 4096)
+        assert a == b
+
+    def test_try_load_missing_is_none(self, tmp_path):
+        assert RankingModel.try_load(tmp_path) is None
+
+    def test_try_load_corrupt_is_none(self, tmp_path):
+        (tmp_path / MODEL_FILENAME).write_text("{not json")
+        assert RankingModel.try_load(tmp_path) is None
+
+    def test_try_load_format_mismatch_is_none(self, tmp_path):
+        path = trained_model_dir(tmp_path) / MODEL_FILENAME
+        doc = json.loads(path.read_text())
+        doc["format"] = 999
+        path.write_text(json.dumps(doc))
+        assert RankingModel.try_load(tmp_path) is None
+
+    def test_rank_ties_break_on_config_knobs(self):
+        # zero weights → every config scores the intercept: the ranking
+        # must still be a deterministic function of the knobs
+        n = len(FEATURE_NAMES)
+        model = RankingModel(
+            weights=np.zeros(n), mean=np.zeros(n), scale=np.ones(n), intercept=1.0
+        )
+        order = model.rank_configs("GEMM", GTX_285, SMALL_SPACE, 4096)
+        again = model.rank_configs("GEMM", GTX_285, list(SMALL_SPACE), 4096)
+        assert order == again
+        ranked = [tuple(sorted(SMALL_SPACE[i].items())) for i in order]
+        assert ranked == sorted(ranked)
+
+
+class _StubPredictor:
+    """Ranks the space in a fixed, test-chosen index order."""
+
+    def __init__(self, order):
+        self.order = list(order)
+
+    def rank_configs(self, family, arch, space, size):
+        return [i for i in self.order if i < len(space)]
+
+
+def _fake_score(gflops, config, provenance, error=""):
+    from repro.tuner import CandidateScore
+
+    return CandidateScore(
+        SimpleNamespace(provenance=provenance), dict(config), gflops, error=error
+    )
+
+
+class TestTopKSearch:
+    def _search(self, space, predictor, topk):
+        return VariantSearch(
+            GTX_285,
+            telemetry=Telemetry(),
+            options=TuningOptions(space=space, topk=topk, jobs=1),
+            predictor=predictor,
+        )
+
+    def _run(self, searcher, name="GEMM-NN"):
+        from repro.blas3 import build_routine
+
+        gen = LibraryGenerator(
+            GTX_285, options=TuningOptions(space=searcher.space, jobs=1)
+        )
+        candidates = gen.candidates(name)
+        return searcher.search(name, build_routine(name), candidates, keep_all=True)
+
+    def test_topk_evaluates_only_the_budget(self):
+        searcher = self._search(
+            SMALL_SPACE, _StubPredictor(range(len(SMALL_SPACE))), topk=2
+        )
+        result = self._run(searcher)
+        assert result.topk == 2
+        assert not result.complete
+        assert result.units_evaluated < len(SMALL_SPACE)
+        assert searcher.telemetry.count("predictor.rank") == 1
+        assert searcher.telemetry.count("search.units_skipped") > 0
+
+    def test_exact_fallback_widens_to_the_full_space(self):
+        # the stub ranks the infeasible config first; with topk=1 the
+        # budgeted sweep finds nothing and the guard must widen
+        space = [INFEASIBLE] + SMALL_SPACE
+        searcher = self._search(space, _StubPredictor(range(len(space))), topk=1)
+        result = self._run(searcher)
+        assert result.complete  # the guard swept everything after all
+        assert result.best.ok
+        assert searcher.telemetry.count("predictor.exact_fallback") == 1
+
+    def test_topk_zero_forces_exhaustive(self):
+        searcher = self._search(
+            SMALL_SPACE, _StubPredictor(range(len(SMALL_SPACE))), topk=2
+        )
+        from repro.blas3 import build_routine
+
+        gen = LibraryGenerator(
+            GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=1)
+        )
+        candidates = gen.candidates("GEMM-NN")
+        result = searcher.search(
+            "GEMM-NN", build_routine("GEMM-NN"), candidates, topk=0
+        )
+        assert result.complete
+        assert result.topk is None
+
+    def test_without_model_topk_degrades_to_exhaustive(self):
+        searcher = VariantSearch(
+            GTX_285, options=TuningOptions(space=SMALL_SPACE, topk=1, jobs=1)
+        )
+        assert searcher.predictor is None
+        result = self._run(searcher)
+        assert result.complete
+
+    def test_exhaustive_sweep_scores_the_model_online(self):
+        # a model that ranks the space perfectly → the exhaustive sweep
+        # reports hit@k for free (the true winner is in its top-k)
+        searcher = self._search(
+            SMALL_SPACE, _StubPredictor(range(len(SMALL_SPACE))), topk=None
+        )
+        result = self._run(searcher)
+        assert result.complete
+        hits = searcher.telemetry.count("predictor.hit_at_k")
+        misses = searcher.telemetry.count("predictor.miss_at_k")
+        assert hits + misses == 1  # exactly one verdict per complete search
+
+    def test_miss_at_k_counted_when_winner_ranked_out(self):
+        # rank the winner last with a budget of 1: the budgeted sweep
+        # either misses it (exact fallback sweeps the rest) or finds a
+        # worse config — both must count as a ranking miss when the
+        # sweep ends up complete
+        space = [INFEASIBLE] + SMALL_SPACE
+        searcher = self._search(space, _StubPredictor(range(len(space))), topk=1)
+        self._run(searcher)
+        assert searcher.telemetry.count("predictor.miss_at_k") == 1
+        assert searcher.telemetry.count("predictor.hit_at_k") == 0
+
+
+class TestDeterministicTop:
+    def test_ties_order_on_config_then_provenance(self):
+        a = _fake_score(100.0, SMALL_SPACE[1], "seq:1")
+        b = _fake_score(100.0, SMALL_SPACE[0], "seq:1")
+        c = _fake_score(100.0, SMALL_SPACE[0], "seq:0")
+        d = _fake_score(200.0, SMALL_SPACE[3], "seq:9")
+        for scores in ([a, b, c, d], [d, c, b, a], [b, d, a, c]):
+            result = SearchResult("GEMM-NN", GTX_285, d, list(scores))
+            top = result.top(4)
+            assert top[0] is d  # gflops first
+            assert [s.script.provenance for s in top[1:]] == ["seq:0", "seq:1", "seq:1"]
+            assert top[1].config == SMALL_SPACE[0]
+
+    def test_rank_key_total_order(self):
+        x = _fake_score(50.0, SMALL_SPACE[0], "seq:0")
+        y = _fake_score(50.0, SMALL_SPACE[0], "seq:1")
+        assert rank_key(x) < rank_key(y)
+        assert rank_key(x) == rank_key(_fake_score(50.0, SMALL_SPACE[0], "seq:0"))
+
+
+class TestGenerateWithModel:
+    def test_topk_generate_produces_a_working_routine(self, tmp_path):
+        path = trained_model_dir(tmp_path)
+        gen = LibraryGenerator(
+            GTX_285,
+            telemetry=Telemetry(),
+            options=TuningOptions(
+                space=SMALL_SPACE, cache_dir=path, topk=2, jobs=1
+            ),
+        )
+        assert gen.searcher.predictor is not None
+        tuned = gen.generate("GEMM-NN")
+        assert tuned.tuned_gflops > 0
+        assert gen.telemetry.count("predictor.rank") >= 1
+
+    def test_topk_and_exhaustive_do_not_share_a_cache_slot(self, tmp_path):
+        path = trained_model_dir(tmp_path)
+        exhaustive = LibraryGenerator(
+            GTX_285, options=TuningOptions(space=SMALL_SPACE, cache_dir=path, jobs=1)
+        )
+        budgeted = LibraryGenerator(
+            GTX_285,
+            options=TuningOptions(space=SMALL_SPACE, cache_dir=path, topk=2, jobs=1),
+        )
+        assert exhaustive._routine_cache_key("GEMM-NN") != budgeted._routine_cache_key(
+            "GEMM-NN"
+        )
+        # ... but their score documents land on the same corpus key
+        assert exhaustive._scores_cache_key("GEMM-NN") == budgeted._scores_cache_key(
+            "GEMM-NN"
+        )
+
+    def test_predict_returns_instant_plan(self, tmp_path):
+        path = trained_model_dir(tmp_path)
+        gen = LibraryGenerator(
+            GTX_285,
+            telemetry=Telemetry(),
+            options=TuningOptions(space=SMALL_SPACE, cache_dir=path, jobs=1),
+        )
+        plan = gen.predict("GEMM-NN")
+        assert plan is not None
+        assert plan.tuned_gflops > 0
+        assert plan.search is None  # no search ran
+        assert gen.telemetry.count("predictor.plans") == 1
+
+    def test_predict_without_model_is_none(self):
+        gen = LibraryGenerator(
+            GTX_285, options=TuningOptions(space=SMALL_SPACE, jobs=1)
+        )
+        assert gen.predict("GEMM-NN") is None

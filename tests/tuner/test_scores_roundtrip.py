@@ -1,0 +1,170 @@
+"""Round-trip tests for the score-document corpus (tuner/cache.py +
+tuner/predictor/corpus.py): multiple arches and routines coexist, corrupt
+documents are skipped, format-version mismatches are ignored, and the
+generate() pipeline records what it evaluated."""
+
+import json
+
+from repro.gpu import FERMI_C2050, GTX_285
+from repro.telemetry import Telemetry
+from repro.tuner import (
+    LibraryGenerator,
+    TuningCache,
+    TuningOptions,
+    score_docs,
+)
+from repro.tuner.predictor import doc_rows
+
+SMALL_SPACE = [
+    {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},
+    {"BM": 32, "BN": 16, "KT": 8, "TX": 16, "TY": 2},
+]
+
+
+def store(cache, key, routine, family, arch, records, **kwargs):
+    cache.store_scores(key, routine, family, arch, 4096, records, **kwargs)
+
+
+def record(cfg, gflops, ok=True, provenance="seq:0"):
+    return {
+        "config": dict(cfg),
+        "gflops": gflops,
+        "ok": ok,
+        "error": "" if ok else "infeasible occupancy",
+        "occupancy": 0.4,
+        "provenance": provenance,
+    }
+
+
+class TestRoundTrip:
+    def test_store_load_one_document(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        records = [record(SMALL_SPACE[0], 120.5), record(SMALL_SPACE[1], 98.2)]
+        store(cache, "a" * 24, "GEMM-NN", "GEMM", GTX_285, records)
+        doc = cache.load_scores("a" * 24, "GEMM-NN")
+        assert doc is not None
+        assert doc["routine"] == "GEMM-NN"
+        assert doc["family"] == "GEMM"
+        assert doc["complete"] is True
+        assert doc["scores"] == records
+
+    def test_wrong_key_is_a_miss(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        store(cache, "a" * 24, "GEMM-NN", "GEMM", GTX_285, [record(SMALL_SPACE[0], 1.0)])
+        assert cache.load_scores("b" * 24, "GEMM-NN") is None
+
+    def test_multiple_arches_and_routines_coexist(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        store(cache, "a" * 24, "GEMM-NN", "GEMM", GTX_285, [record(SMALL_SPACE[0], 300.0)])
+        store(cache, "b" * 24, "GEMM-NN", "GEMM", FERMI_C2050, [record(SMALL_SPACE[0], 500.0)])
+        store(cache, "c" * 24, "TRSM-LL-N", "TRSM", GTX_285, [record(SMALL_SPACE[1], 90.0)])
+
+        docs = score_docs(cache)
+        assert [(d["routine"], d["arch_name"]) for d in docs] == [
+            ("GEMM-NN", "Fermi Tesla C2050"),
+            ("GEMM-NN", "GTX 285"),
+            ("TRSM-LL-N", "GTX 285"),
+        ]
+        # arch records resolve to live GPUArch objects
+        assert docs[0]["arch_obj"].name == "Fermi Tesla C2050"
+        assert docs[1]["arch_obj"] is not None
+
+    def test_corrupt_documents_are_skipped_and_counted(self, tmp_path):
+        telemetry = Telemetry()
+        cache = TuningCache(tmp_path, telemetry=telemetry)
+        store(cache, "a" * 24, "GEMM-NN", "GEMM", GTX_285, [record(SMALL_SPACE[0], 10.0)])
+        (tmp_path / "scores-TRMM-LL-N-deadbeef.json").write_text("{truncated")
+
+        docs = score_docs(cache)
+        assert [d["routine"] for d in docs] == ["GEMM-NN"]
+        assert telemetry.count("cache.corrupt") == 1
+
+    def test_format_version_mismatch_is_ignored(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        store(cache, "a" * 24, "GEMM-NN", "GEMM", GTX_285, [record(SMALL_SPACE[0], 10.0)])
+        path = next(tmp_path.glob("scores-*.json"))
+        doc = json.loads(path.read_text())
+        doc["format"] = 999
+        path.write_text(json.dumps(doc))
+        assert score_docs(cache) == []
+        assert cache.load_scores("a" * 24, "GEMM-NN") is None
+
+    def test_unresolvable_arch_is_skipped(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        store(cache, "a" * 24, "GEMM-NN", "GEMM", GTX_285, [record(SMALL_SPACE[0], 10.0)])
+        path = next(tmp_path.glob("scores-*.json"))
+        doc = json.loads(path.read_text())
+        doc["arch"] = "not an arch record"
+        path.write_text(json.dumps(doc))
+        assert score_docs(cache) == []
+
+
+class TestDocRows:
+    def test_best_over_scripts_per_config(self):
+        doc = {
+            "scores": [
+                record(SMALL_SPACE[0], 100.0, provenance="seq:0"),
+                record(SMALL_SPACE[0], 140.0, provenance="seq:1"),
+                record(SMALL_SPACE[1], 90.0),
+            ]
+        }
+        configs, gflops = doc_rows(doc)
+        assert len(configs) == 2
+        by_cfg = dict(zip((tuple(sorted(c.items())) for c in configs), gflops))
+        assert by_cfg[tuple(sorted(SMALL_SPACE[0].items()))] == 140.0
+        assert by_cfg[tuple(sorted(SMALL_SPACE[1].items()))] == 90.0
+
+    def test_failed_units_contribute_zero(self):
+        doc = {"scores": [record(SMALL_SPACE[0], 77.0, ok=False)]}
+        configs, gflops = doc_rows(doc)
+        assert gflops == [0.0]
+
+    def test_malformed_entries_are_dropped(self):
+        doc = {
+            "scores": [
+                {"config": "nope", "gflops": 1.0, "ok": True},
+                {"config": {"BM": "x"}, "gflops": 1.0, "ok": True},
+                record(SMALL_SPACE[0], 5.0),
+            ]
+        }
+        configs, gflops = doc_rows(doc)
+        assert configs == [SMALL_SPACE[0]]
+        assert gflops == [5.0]
+
+    def test_row_order_is_deterministic(self):
+        doc = {"scores": [record(c, 1.0) for c in SMALL_SPACE]}
+        flipped = {"scores": [record(c, 1.0) for c in reversed(SMALL_SPACE)]}
+        assert doc_rows(doc) == doc_rows(flipped)
+
+
+class TestGeneratePopulatesCorpus:
+    def test_exhaustive_generate_stores_scores(self, tmp_path):
+        telemetry = Telemetry()
+        gen = LibraryGenerator(
+            GTX_285,
+            telemetry=telemetry,
+            options=TuningOptions(space=SMALL_SPACE, cache_dir=tmp_path, jobs=1),
+        )
+        gen.generate("GEMM-NN")
+        docs = score_docs(TuningCache(tmp_path))
+        assert len(docs) == 1
+        assert docs[0]["routine"] == "GEMM-NN"
+        assert docs[0]["complete"] is True
+        configs, gflops = doc_rows(docs[0])
+        assert len(configs) == len(SMALL_SPACE)
+        assert max(gflops) > 0
+        assert telemetry.count("cache.scores.store") == 1
+
+    def test_every_evaluated_config_is_recorded(self, tmp_path):
+        gen = LibraryGenerator(
+            GTX_285,
+            options=TuningOptions(space=SMALL_SPACE, cache_dir=tmp_path, jobs=1),
+        )
+        gen.generate("TRMM-LL-N")  # multiple candidate scripts
+        (doc,) = score_docs(TuningCache(tmp_path))
+        seen_configs = {
+            tuple(sorted(s["config"].items())) for s in doc["scores"]
+        }
+        assert seen_configs == {tuple(sorted(c.items())) for c in SMALL_SPACE}
+        # more records than configs: one per (script, config) unit
+        assert len(doc["scores"]) > len(SMALL_SPACE)
