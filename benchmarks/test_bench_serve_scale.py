@@ -1,0 +1,129 @@
+"""Benchmark: sharded-tier scaling and admission control under load.
+
+Replays a seeded Poisson / heavy-tailed trace through the serving tier's
+real control plane (ring router, admission controller, per-shard LRU
+dispatch tables) in virtual time — see :mod:`repro.serve.traffic` for
+why virtual time is the honest way to measure architecture-level scaling
+on a GIL-bound simulated GPU.  Three scenario families land in
+``BENCH_serve_scale.json``:
+
+* ``cold``  — empty tables: every (routine, bucket) key's first
+  deadline-free arrival pays a full tune on its owner shard.  Sharding
+  spreads the tune storm; this is the restart-without-snapshot case.
+* ``warm``  — prewarmed tables (the rehydrated-from-snapshot case):
+  steady-state capacity, 1 vs 4 shards.
+* ``overload`` — warm 4-shard tier pushed past capacity, with and
+  without queue-depth shedding: shedding trades a bounded reject rate
+  for a bounded p99.
+
+Acceptance: 4 shards sustain ≥ 2× the QPS of 1 shard (cold and warm),
+and under overload the shedding tier's p99 is bounded (both absolutely
+and relative to the no-shedding tier).  Every replay is deterministic,
+so smoke mode (``BENCH_SMOKE=1``, shorter traces) asserts the same
+invariants CI-fast.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.serve.traffic import TrafficProfile, replay, synthesize_trace
+
+from .conftest import emit
+
+BENCH_PATH = Path(__file__).parents[1] / "BENCH_serve_scale.json"
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
+#: trace length scales down in smoke mode; rates (and therefore the
+#: overload regime) stay identical, so the asserted ratios carry over
+COLD_PROFILE = TrafficProfile(
+    rate_qps=2000.0, duration_s=0.5 if SMOKE else 2.0, seed=7
+)
+WARM_PROFILE = TrafficProfile(
+    rate_qps=8000.0, duration_s=0.25 if SMOKE else 1.0, seed=11
+)
+SHED_HIGH_WATER = 16
+
+
+def _fmt(name, report):
+    return (
+        f"{name:24s} sustained {report.sustained_qps:8.1f} qps   "
+        f"p50 {report.p50_ms:8.2f} ms   p99 {report.p99_ms:9.2f} ms   "
+        f"shed {report.shed:5d}   depth<= {report.max_queue_depth}"
+    )
+
+
+def test_bench_serve_scale():
+    cold_trace = synthesize_trace(COLD_PROFILE)
+    warm_trace = synthesize_trace(WARM_PROFILE)
+    lines = []
+    record = {
+        "smoke": SMOKE,
+        "shed_high_water": SHED_HIGH_WATER,
+        "cold_profile": {
+            "rate_qps": COLD_PROFILE.rate_qps,
+            "duration_s": COLD_PROFILE.duration_s,
+            "events": len(cold_trace),
+        },
+        "warm_profile": {
+            "rate_qps": WARM_PROFILE.rate_qps,
+            "duration_s": WARM_PROFILE.duration_s,
+            "events": len(warm_trace),
+        },
+        "scenarios": {},
+    }
+
+    def run(name, trace, **kwargs):
+        report = replay(trace, **kwargs)
+        record["scenarios"][name] = report.to_record()
+        lines.append(_fmt(name, report))
+        return report
+
+    # cold start: the tune storm lands on 1 server vs spread over 4
+    cold1 = run("cold_1shard", cold_trace, shards=1)
+    cold4 = run("cold_4shard", cold_trace, shards=4)
+    run("cold_1shard_shed", cold_trace, shards=1, shed_high_water=SHED_HIGH_WATER)
+    run("cold_4shard_shed", cold_trace, shards=4, shed_high_water=SHED_HIGH_WATER)
+
+    # steady state (rehydrated tables): pure capacity scaling
+    warm1 = run("warm_1shard", warm_trace, shards=1, prewarmed=True)
+    warm4 = run("warm_4shard", warm_trace, shards=4, prewarmed=True)
+
+    # overload: same warm tier, admission control on vs off
+    over_open = warm4
+    over_shed = run(
+        "warm_4shard_shed",
+        warm_trace,
+        shards=4,
+        prewarmed=True,
+        shed_high_water=SHED_HIGH_WATER,
+    )
+
+    record["scaling"] = {
+        "cold_qps_ratio_4v1": round(cold4.sustained_qps / cold1.sustained_qps, 2),
+        "warm_qps_ratio_4v1": round(warm4.sustained_qps / warm1.sustained_qps, 2),
+        "overload_p99_ratio_shed_v_open": round(
+            over_shed.p99_ms / over_open.p99_ms, 4
+        ),
+    }
+
+    # the acceptance bars: >= 2x sustained QPS at 4 shards, bounded p99
+    # under overload once shedding is on
+    assert cold4.sustained_qps >= 2.0 * cold1.sustained_qps
+    assert warm4.sustained_qps >= 2.0 * warm1.sustained_qps
+    assert over_shed.p99_ms <= over_open.p99_ms / 5.0
+    assert over_shed.p99_ms <= 50.0
+    assert over_shed.max_queue_depth <= SHED_HIGH_WATER
+    # shedding rejects a bounded slice, it does not collapse goodput
+    assert over_shed.shed < len(warm_trace) // 4
+    assert over_shed.sustained_qps >= over_open.sustained_qps
+
+    BENCH_PATH.write_text(json.dumps(record, indent=1))
+    emit(
+        "sharded serving tier under synthetic traffic "
+        f"(virtual-time replay{', smoke' if SMOKE else ''})\n"
+        + "\n".join(lines)
+        + f"\nqps scaling 4v1: cold {record['scaling']['cold_qps_ratio_4v1']}x, "
+        f"warm {record['scaling']['warm_qps_ratio_4v1']}x"
+        + f"\nwritten to {BENCH_PATH}"
+    )

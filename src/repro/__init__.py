@@ -58,7 +58,14 @@ from .ir import Array, Computation, build_computation, interpret, validate, var
 from .jit import compile_computation, execute as jit_execute
 from .multigpu import MultiGPULibrary, MultiGPUTiming
 from .oa import OAFramework
-from .serve import BlasService, PlanUnavailableError, ServeOptions
+from .serve import (
+    BlasService,
+    PlanUnavailableError,
+    ServeOptions,
+    ShardedBlasService,
+    ShardRouter,
+    as_completed,
+)
 from .telemetry import Metrics, Span, Telemetry, Tracer
 from .tuner import (
     GeneratedLibrary,
@@ -100,6 +107,8 @@ __all__ = [
     "PlanUnavailableError",
     "RankingModel",
     "ServeOptions",
+    "ShardRouter",
+    "ShardedBlasService",
     "SimulatedGPU",
     "Span",
     "Telemetry",
@@ -107,6 +116,7 @@ __all__ = [
     "TunedRoutine",
     "TuningOptions",
     "VariantSearch",
+    "as_completed",
     "build_computation",
     "build_routine",
     "compile_computation",

@@ -20,11 +20,12 @@ Commands
     Tune every variant (all 24 by default) and save the resulting
     library as JSON (reloadable with ``repro.tuner.load_library``).
 ``serve``
-    Run a synthetic request stream through the serving runtime
-    (:class:`repro.serve.BlasService`): dispatch with an LRU hot-plan
-    cache, micro-batching, optional per-request deadlines with baseline
-    fallback, multi-device backends.  Prints per-routine latency and the
-    service counters.
+    Run a synthetic request stream through the serving tier
+    (:class:`repro.serve.ShardedBlasService`): consistent-hash routing
+    over ``--shards`` dispatchers, each with an LRU hot-plan cache and
+    micro-batching; optional per-request deadlines with baseline
+    fallback, queue-depth load shedding (``--high-water``), multi-device
+    backends.  Prints per-routine latency and the service counters.
 ``stats TRACE``
     Print the per-stage wall-time table and counter registry of a trace
     document previously written with ``--trace-json``.
@@ -270,6 +271,21 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="W",
         help="micro-batch window in ms (default: 2)",
     )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="S",
+        help="dispatcher shards behind the consistent-hash ingress (default: 1)",
+    )
+    p.add_argument(
+        "--high-water",
+        type=int,
+        default=None,
+        metavar="Q",
+        help="per-shard queue depth at which new requests are shed "
+        "(default: admit everything)",
+    )
     p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     _add_common(p)
     _add_tuning(p)
@@ -399,7 +415,7 @@ def _cmd_serve(args) -> int:
     from statistics import mean, quantiles
 
     from .blas3.reference import random_inputs
-    from .serve import BlasService, ServeOptions
+    from .serve import ServeOptions, ShardedBlasService
     from .telemetry import Telemetry
 
     # The stats footer always needs live counters, trace flag or not.
@@ -411,6 +427,7 @@ def _cmd_serve(args) -> int:
         default_deadline_s=(
             args.deadline_ms / 1e3 if args.deadline_ms is not None else None
         ),
+        shed_high_water=args.high_water,
     )
     routines = [get_spec(r).name for r in args.routines]
     workload = {
@@ -418,9 +435,12 @@ def _cmd_serve(args) -> int:
         for r in routines
     }
     latencies = {r: [] for r in routines}
-    sources = {r: {"tuned": 0, "fallback": 0} for r in routines}
-    with BlasService(
+    sources = {
+        r: {"tuned": 0, "fallback": 0, "shed": 0, "error": 0} for r in routines
+    }
+    with ShardedBlasService(
         PLATFORMS[args.arch],
+        args.shards,
         options=serve_options,
         tuning=_tuning_options(args),
         telemetry=telemetry,
@@ -432,30 +452,32 @@ def _cmd_serve(args) -> int:
                 (routine, service.submit(routine, **workload[routine]))
             )
         for routine, pending in pendings:
-            response = pending.result()
-            latencies[routine].append(response.total_s)
+            response = pending.response()
             sources[routine][response.source] += 1
+            if response.ok:
+                latencies[routine].append(response.total_s)
 
     rows = []
     for routine in routines:
         lat = sorted(latencies[routine])
-        p95 = quantiles(lat, n=20)[-1] if len(lat) >= 2 else lat[-1]
+        p95 = quantiles(lat, n=20)[-1] if len(lat) >= 2 else lat[-1] if lat else 0.0
         rows.append(
             (
                 routine,
                 str(len(lat)),
                 str(sources[routine]["tuned"]),
                 str(sources[routine]["fallback"]),
-                f"{mean(lat) * 1e3:.1f}",
-                f"{p95 * 1e3:.1f}",
+                str(sources[routine]["shed"]),
+                f"{mean(lat) * 1e3:.1f}" if lat else "-",
+                f"{p95 * 1e3:.1f}" if lat else "-",
             )
         )
     print(
         ascii_table(
-            ["routine", "requests", "tuned", "fallback", "mean ms", "p95 ms"],
+            ["routine", "served", "tuned", "fallback", "shed", "mean ms", "p95 ms"],
             rows,
             title=f"served {args.requests} requests on {PLATFORMS[args.arch].name}, "
-            f"N={args.n}, {args.devices} device(s)",
+            f"N={args.n}, {args.shards} shard(s), {args.devices} device(s)",
         )
     )
     counters = telemetry.metrics.snapshot()
@@ -467,6 +489,7 @@ def _cmd_serve(args) -> int:
         f"plan hits {counters.get('serve.plan.hit', 0)}  "
         f"misses {counters.get('serve.plan.miss', 0)}  "
         f"fallbacks {counters.get('serve.fallbacks', 0)}  "
+        f"shed {counters.get('serve.shed', 0)}  "
         f"peak queue {counters.get('serve.queue.peak_depth', 0)}"
     )
     path = getattr(args, "trace_json", None)

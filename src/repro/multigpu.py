@@ -194,6 +194,7 @@ class MultiGPULibrary:
         inputs: Optional[Mapping[str, np.ndarray]] = None,
         alpha: float = 1.0,
         beta: float = 1.0,
+        sizes: Optional[Mapping[str, int]] = None,
         **arrays: np.ndarray,
     ) -> np.ndarray:
         """Functional multi-device execution: split, run panels, stitch.
@@ -204,6 +205,13 @@ class MultiGPULibrary:
 
         Passing a positional mapping of arrays (the pre-1.1 convention)
         still works but emits a :class:`DeprecationWarning`.
+
+        Explicit ``sizes`` name the *logical* problem like everywhere
+        else in the unified convention (:meth:`TunedRoutine.run`,
+        :meth:`BlasService.submit`): the split dimension comes from
+        ``sizes`` and each panel execution receives its split-adjusted
+        slice of them, instead of re-inferring sizes from the (possibly
+        padded) array shapes.
 
         Divisibility matches :meth:`timing`: an uneven split runs
         ceil-sized panels on the first devices and the remainder on the
@@ -229,7 +237,10 @@ class MultiGPULibrary:
         split = self._split_dim(name)
 
         full = {k: np.asarray(v) for k, v in inputs.items()}
-        length = full["B"].shape[1] if split == "N" else full["B"].shape[0]
+        if sizes is not None:
+            length = int(sizes[split])
+        else:
+            length = full["B"].shape[1] if split == "N" else full["B"].shape[0]
         bounds = self._panel_bounds(length)
         with self.telemetry.span(
             "multigpu.run", routine=name, devices=self.num_devices, panels=len(bounds)
@@ -246,7 +257,15 @@ class MultiGPULibrary:
                     if self._is_split_array(spec, arr.name):
                         data = data[:, lo:hi] if split == "N" else data[lo:hi, :]
                     panel_inputs[arr.name] = np.ascontiguousarray(data)
-                panels.append(tuned._execute(panel_inputs, alpha=alpha, beta=beta))
+                panel_sizes = None
+                if sizes is not None:
+                    panel_sizes = dict(sizes)
+                    panel_sizes[split] = hi - lo
+                panels.append(
+                    tuned._execute(
+                        panel_inputs, sizes=panel_sizes, alpha=alpha, beta=beta
+                    )
+                )
             axis = 1 if split == "N" else 0
             return np.concatenate(panels, axis=axis)
 

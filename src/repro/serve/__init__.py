@@ -5,12 +5,15 @@ The runtime layer over the generated library — see
 README's "Serving" section for the quickstart and counter glossary.
 """
 
+from .admission import AdmissionController
 from .batching import MicroBatcher
 from .dispatch import DispatchTable, Plan, PlanKey, size_bucket
-from .request import PendingResult, Request, Response, ServeError
+from .request import PendingResult, Request, Response, ServeError, as_completed
 from .service import BlasService, PlanUnavailableError, ServeOptions
+from .shard import ShardedBlasService, ShardRouter
 
 __all__ = [
+    "AdmissionController",
     "BlasService",
     "DispatchTable",
     "MicroBatcher",
@@ -22,5 +25,8 @@ __all__ = [
     "Response",
     "ServeError",
     "ServeOptions",
+    "ShardRouter",
+    "ShardedBlasService",
+    "as_completed",
     "size_bucket",
 ]

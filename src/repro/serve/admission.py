@@ -1,0 +1,55 @@
+"""Admission control for the sharded serving tier.
+
+A loaded shard that keeps accepting work converts overload into
+unbounded queue wait: every queued request's latency grows with the
+backlog, and the tail (p99) grows fastest.  The admission controller
+bounds that tail by *shedding* — rejecting new requests at the door once
+a shard's queue depth reaches a high-water mark.  A shed request is
+answered instantly with ``Response(source="shed")`` (its ``result()``
+raises :class:`~repro.serve.request.ServeError`), which callers can
+retry, redirect, or degrade on — a fast, explicit "no" instead of a
+slow, implicit "yes".
+
+Counters: ``serve.shed`` (total rejections) and ``serve.shard.<i>.shed``
+(per shard), so dashboards can tell a single hot shard from tier-wide
+overload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..telemetry import Telemetry, ensure_telemetry
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Queue-depth load shedding for one tier of dispatcher shards.
+
+    ``high_water`` is the per-shard queue depth at which new requests
+    are rejected; ``None`` admits everything (the controller becomes a
+    pass-through that still counts admissions).
+    """
+
+    def __init__(
+        self,
+        high_water: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        if high_water is not None and high_water < 1:
+            raise ValueError("admission high_water must be >= 1 (or None)")
+        self.high_water = high_water
+        self.telemetry = ensure_telemetry(telemetry)
+        self.admitted = 0
+        self.shed = 0
+
+    def admit(self, shard_index: int, queue_depth: int) -> bool:
+        """Whether a request may enter the shard's queue at this depth."""
+        if self.high_water is not None and queue_depth >= self.high_water:
+            self.shed += 1
+            self.telemetry.incr("serve.shed")
+            self.telemetry.incr(f"serve.shard.{shard_index}.shed")
+            return False
+        self.admitted += 1
+        return True

@@ -15,9 +15,10 @@ on-disk tuning cache at plan-miss cost, not search cost).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Mapping, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from ..telemetry import Telemetry, ensure_telemetry
 from ..tuner.library import TunedRoutine
@@ -67,6 +68,12 @@ class DispatchTable:
     ``insert`` evicts the least-recently-used plan beyond ``capacity``.
     Counters: ``serve.plan.hit`` / ``serve.plan.miss`` /
     ``serve.plan.evict``.
+
+    The table carries its own lock: it is probed concurrently by the
+    dispatcher thread and by caller threads (``warm()``, ``flush()``
+    racing ``close()``), and in the sharded tier by rehydration — the
+    LRU's get + move_to_end pair and the insert + evict pair must be
+    atomic against each other or the ``OrderedDict`` corrupts.
     """
 
     def __init__(self, capacity: int = 64, telemetry: Optional[Telemetry] = None):
@@ -75,30 +82,44 @@ class DispatchTable:
         self.capacity = capacity
         self.telemetry = ensure_telemetry(telemetry)
         self._plans: "OrderedDict[PlanKey, Plan]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, key: PlanKey) -> bool:
-        return key in self._plans
+        with self._lock:
+            return key in self._plans
 
     def keys(self):
         """Plan keys, coldest first."""
-        return list(self._plans)
+        with self._lock:
+            return list(self._plans)
+
+    def plans(self) -> List[Plan]:
+        """Resident plans, coldest first (snapshot/rehydration surface)."""
+        with self._lock:
+            return list(self._plans.values())
 
     def lookup(self, key: PlanKey) -> Optional[Plan]:
-        plan = self._plans.get(key)
-        if plan is None:
-            self.telemetry.incr("serve.plan.miss")
-            return None
-        self._plans.move_to_end(key)
-        plan.hits += 1
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.telemetry.incr("serve.plan.miss")
+                return None
+            self._plans.move_to_end(key)
+            plan.hits += 1
         self.telemetry.incr("serve.plan.hit")
         return plan
 
     def insert(self, plan: Plan) -> None:
-        self._plans[plan.key] = plan
-        self._plans.move_to_end(plan.key)
-        while len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
-            self.telemetry.incr("serve.plan.evict")
+        evicted = 0
+        with self._lock:
+            self._plans[plan.key] = plan
+            self._plans.move_to_end(plan.key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self.telemetry.incr("serve.plan.evict", evicted)

@@ -9,13 +9,15 @@ one-shot future the submitting thread blocks on.
 
 from __future__ import annotations
 
+import queue
 import threading
+import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["Request", "Response", "PendingResult", "ServeError"]
+__all__ = ["Request", "Response", "PendingResult", "ServeError", "as_completed"]
 
 
 class ServeError(RuntimeError):
@@ -42,13 +44,25 @@ class Request:
 
         Same routine, same array shapes, same scaling — the dispatch
         work (plan lookup, sizing, bucketing) is identical for every
-        member, so the batch pays it once.
+        member, so the batch pays it once.  Deadline *presence* is part
+        of the key: plan resolution branches on whether the head can
+        afford a cold tune, so a deadline-bound head must never decide
+        for deadline-free riders (or vice versa).  The budget value
+        itself stays out — same-presence requests resolve identically
+        and per-request expiry is checked at serve time.
         """
         shapes = tuple(
             (name, np.asarray(arr).shape) for name, arr in sorted(self.arrays.items())
         )
         sizes = tuple(sorted(self.sizes.items())) if self.sizes else None
-        return (self.routine, shapes, sizes, self.alpha, self.beta)
+        return (
+            self.routine,
+            shapes,
+            sizes,
+            self.alpha,
+            self.beta,
+            self.deadline_s is not None,
+        )
 
     def expired(self, now: float) -> bool:
         """Whether the deadline budget is spent at clock reading ``now``."""
@@ -62,7 +76,9 @@ class Response:
     request_id: int
     routine: str
     output: Optional[np.ndarray] = None
-    #: "tuned" (hot/lazily-tuned plan) or "fallback" (baseline kernel)
+    #: "tuned" (hot/lazily-tuned plan), "fallback" (baseline kernel),
+    #: "error" (the request failed; see :attr:`error`) or "shed"
+    #: (rejected by admission control before reaching a dispatcher)
     source: str = "tuned"
     #: why the baseline answered, when it did ("deadline" | "no-plan")
     fallback_reason: Optional[str] = None
@@ -85,25 +101,90 @@ class PendingResult:
         self.request_id = request_id
         self._event = threading.Event()
         self._response: Optional[Response] = None
+        self._lock = threading.Lock()
+        self._callbacks: List[Callable[["PendingResult"], None]] = []
 
     def done(self) -> bool:
         return self._event.is_set()
 
     def fulfill(self, response: Response) -> None:
-        self._response = response
-        self._event.set()
+        with self._lock:
+            self._response = response
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
 
-    def result(self, timeout: Optional[float] = None) -> Response:
-        """Block for the response; raises :class:`ServeError` on failure."""
+    def add_done_callback(
+        self, callback: Callable[["PendingResult"], None]
+    ) -> None:
+        """Invoke ``callback(self)`` once the response lands.
+
+        The non-blocking completion surface: callbacks registered before
+        fulfilment run on the fulfilling (dispatcher) thread, in
+        registration order; registering after fulfilment invokes the
+        callback immediately on the caller's thread.  Callbacks should be
+        quick and must not block — they run inside the serving loop.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def response(self, timeout: Optional[float] = None) -> Response:
+        """Block for the response without raising on failure.
+
+        The inspection surface: shed and errored responses come back as
+        values (check :attr:`Response.source` / :attr:`Response.error`),
+        where :meth:`result` would raise :class:`ServeError`.
+        """
         if not self._event.wait(timeout):
             raise TimeoutError(
                 f"request {self.request_id} still pending after {timeout}s"
             )
         assert self._response is not None
-        if self._response.error is not None:
-            raise ServeError(self._response.error)
         return self._response
+
+    def result(self, timeout: Optional[float] = None) -> Response:
+        """Block for the response; raises :class:`ServeError` on failure."""
+        response = self.response(timeout)
+        if response.error is not None:
+            raise ServeError(response.error)
+        return response
 
     def output(self, timeout: Optional[float] = None) -> np.ndarray:
         """The result array (blocking convenience over :meth:`result`)."""
         return self.result(timeout).output
+
+
+def as_completed(
+    pendings: Iterable[PendingResult], timeout: Optional[float] = None
+) -> Iterator[PendingResult]:
+    """Yield each :class:`PendingResult` as its response lands.
+
+    Completion order, not submission order — the async consumption
+    surface for fan-out submitters::
+
+        pendings = [service.submit(...) for _ in range(64)]
+        for pending in as_completed(pendings):
+            handle(pending.result())
+
+    ``timeout`` bounds the *total* wait; expiry raises
+    :class:`TimeoutError` naming how many results were still pending.
+    """
+    pendings = list(pendings)
+    ready: "queue.Queue[PendingResult]" = queue.Queue()
+    for pending in pendings:
+        pending.add_done_callback(ready.put)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    for remaining in range(len(pendings), 0, -1):
+        wait = None if deadline is None else deadline - time.monotonic()
+        if wait is not None and wait <= 0:
+            raise TimeoutError(f"{remaining} result(s) still pending after {timeout}s")
+        try:
+            yield ready.get(timeout=wait)
+        except queue.Empty:
+            raise TimeoutError(
+                f"{remaining} result(s) still pending after {timeout}s"
+            ) from None

@@ -109,6 +109,11 @@ class ServeOptions:
     #: tune predicted plans for real on a background thread and promote
     #: the verified winner on a later hit
     background_promotion: bool = True
+    #: per-shard queue-depth high-water mark for the sharded tier's
+    #: admission control: at or beyond this depth new requests are shed
+    #: (answered instantly with ``source="shed"``) instead of queued.
+    #: None = admit everything.
+    shed_high_water: Optional[int] = None
 
 
 class BlasService:
@@ -253,12 +258,20 @@ class BlasService:
 
     def stats(self) -> Dict:
         """Service-level snapshot: counters + table/queue state."""
+        with self._lock:
+            queue_depth = len(self._batcher)
+            peak = self._batcher.peak_depth
         return {
             "counters": self.telemetry.metrics.snapshot(),
             "plans": len(self.table),
-            "queue_depth": len(self._batcher),
-            "peak_queue_depth": self._batcher.peak_depth,
+            "queue_depth": queue_depth,
+            "peak_queue_depth": peak,
         }
+
+    def queue_depth(self) -> int:
+        """Requests queued right now (the admission-control signal)."""
+        with self._lock:
+            return len(self._batcher)
 
     def warm(self, routine: str, n: int) -> Plan:
         """Pre-tune (or cache-load) the plan a size-``n`` call will use.
@@ -284,6 +297,91 @@ class BlasService:
             )
         return plan
 
+    # -- plan snapshots (restart/rescale without re-tuning) ------------
+    def _snapshot_cache(self):
+        if self.tuning.cache_dir is None:
+            return None
+        from ..tuner.cache import TuningCache
+
+        return TuningCache(self.tuning.cache_dir, telemetry=self.telemetry)
+
+    def plan_records(self) -> List[Dict]:
+        """Serialized snapshot entries for every resident *verified* plan.
+
+        Predicted plans are provisional (no search ran) and are excluded
+        — a rehydrating worker should re-predict or tune, not trust a
+        stale instant plan.
+        """
+        from ..tuner.persist import routine_record
+
+        records = []
+        for plan in self.table.plans():
+            if plan.predicted:
+                continue
+            records.append(
+                {
+                    "routine": plan.routine,
+                    "bucket": plan.bucket,
+                    "record": routine_record(plan.tuned),
+                }
+            )
+        return records
+
+    def snapshot_plans(self, tag: str = "serve") -> int:
+        """Persist the dispatch table through the tuning cache.
+
+        Returns the number of plans stored (0 without a ``cache_dir``).
+        Counter: ``serve.snapshot.stored``.
+        """
+        cache = self._snapshot_cache()
+        if cache is None:
+            return 0
+        records = self.plan_records()
+        cache.store_plan_snapshot(self.arch, tag, records)
+        self.telemetry.incr("serve.snapshot.stored", len(records))
+        return len(records)
+
+    def rehydrate_plans(self, tag: str = "serve", only=None) -> int:
+        """Load a persisted snapshot into the dispatch table.
+
+        ``only`` filters by :data:`PlanKey` (the sharded tier passes its
+        ownership predicate so each worker rehydrates just the keys that
+        route to it).  Resident keys are never overwritten — live plans
+        carry fresher hit statistics than any snapshot.  Unreadable
+        entries are skipped and counted, not fatal.  Counters:
+        ``serve.rehydrated`` / ``serve.rehydrate_errors``.
+        """
+        cache = self._snapshot_cache()
+        if cache is None:
+            return 0
+        doc = cache.load_plan_snapshot(self.arch, tag)
+        if doc is None:
+            return 0
+        from ..tuner.persist import rebuild_routine
+
+        loaded = 0
+        for entry in doc["plans"]:
+            try:
+                routine = entry["routine"]
+                bucket = int(entry["bucket"])
+                key: PlanKey = (routine, self.arch.name, bucket)
+                if only is not None and not only(key):
+                    continue
+                if key in self.table:
+                    continue
+                tuned = rebuild_routine(entry["record"], self.arch)
+            except Exception:
+                self.telemetry.incr("serve.rehydrate_errors")
+                continue
+            tuned.telemetry = self.telemetry
+            if tuned.fallback is not None:
+                tuned.fallback.telemetry = self.telemetry
+            self.table.insert(Plan(key, tuned))
+            loaded += 1
+        if loaded:
+            self.telemetry.incr("serve.rehydrated", loaded)
+        return loaded
+
     # -- dispatcher ----------------------------------------------------
     def _loop(self) -> None:
         """Dispatcher thread: wait → micro-batch window → launch."""
@@ -295,16 +393,27 @@ class BlasService:
                     if not self._running:
                         return
                     continue
-                window_until = self.clock() + self.options.batch_window_s
-                while (
-                    self._running
-                    and self._batcher.matching_head() < self._batcher.max_batch
-                    and self.clock() < window_until
-                ):
-                    self._cond.wait(timeout=self.options.batch_window_s)
+                self._await_company(self.clock() + self.options.batch_window_s)
                 batch = self._batcher.next_batch()
             if batch:
                 self._execute_batch(batch)
+
+    def _await_company(self, window_until: float) -> None:
+        """Hold the head request until ``window_until`` (or a full batch).
+
+        Runs under ``self._lock``.  Each wakeup — including the spurious
+        ones every new submission's ``notify_all`` causes — re-waits only
+        the *remaining* window, so one late rider cannot re-arm a full
+        window and stretch the head's wait toward 2× ``batch_window_s``.
+        """
+        while (
+            self._running
+            and self._batcher.matching_head() < self._batcher.max_batch
+        ):
+            remaining = window_until - self.clock()
+            if remaining <= 0:
+                return
+            self._cond.wait(timeout=remaining)
 
     # -- execution -----------------------------------------------------
     def _sizes_for(self, request: Request) -> Dict[str, int]:
@@ -448,13 +557,24 @@ class BlasService:
                 for request in batch:
                     self._fulfill_error(request, exc, len(batch), started)
                 return
+            # Deadlines are judged *after* plan resolution: a cold tune
+            # (or cache rebuild) runs on this thread, and a batch member
+            # whose budget it consumed must degrade, not be served late
+            # as if the tune were free.
+            resolved_at = self.clock()
             launch.tags["source"] = "fallback" if plan is None else "tuned"
             backend = None
             if plan is not None:
                 backend = self._backend_for(plan.bucket)
             for request in batch:
                 self._serve_one(
-                    request, plan, backend, fallback_reason, len(batch), started
+                    request,
+                    plan,
+                    backend,
+                    fallback_reason,
+                    len(batch),
+                    started,
+                    resolved_at,
                 )
 
     def _serve_one(
@@ -465,13 +585,16 @@ class BlasService:
         fallback_reason: Optional[str],
         batch_size: int,
         started: float,
+        resolved_at: Optional[float] = None,
     ) -> None:
         wait_s = max(0.0, started - request.submitted_at)
+        if resolved_at is None:
+            resolved_at = started
         with self.telemetry.span(
             "serve.request", routine=request.routine, id=request.id
         ) as span:
             reason = fallback_reason
-            if reason is None and request.expired(started):
+            if reason is None and request.expired(resolved_at):
                 reason = "deadline"
                 self.telemetry.incr("serve.deadline_misses")
             try:
@@ -509,6 +632,7 @@ class BlasService:
                 request.routine,
                 alpha=request.alpha,
                 beta=request.beta,
+                sizes=request.sizes,
                 **request.arrays,
             )
         return plan.tuned._execute(

@@ -1,0 +1,319 @@
+"""Sharded serving tier: consistent-hash routing over dispatcher shards.
+
+One :class:`~repro.serve.service.BlasService` serializes every launch
+through a single dispatcher, so its throughput ceiling is one worker's.
+This module scales the serving runtime *out*: a
+:class:`ShardedBlasService` runs N independent ``BlasService`` workers
+(each with its own dispatcher thread, micro-batcher and hot-plan table)
+behind one ingress, and routes every request by consistent hashing on
+``(routine, size-bucket)``.
+
+Why consistent hashing rather than round-robin:
+
+* **plan affinity** — all traffic for one ``(routine, bucket)`` lands on
+  one shard, so each plan is tuned *once* by exactly one worker and its
+  micro-batcher still sees coalescable same-shape company.  Round-robin
+  would tune every plan on every shard and split batches N ways.
+* **elasticity** — adding a shard remaps only ~1/N of the key space
+  (the ring property), so a resize invalidates few warm plans, and the
+  newcomers rehydrate those from the persisted plan snapshot
+  (:meth:`ShardedBlasService.rehydrate_plans`) instead of re-tuning.
+
+The ingress applies admission control before enqueueing: when the owner
+shard's queue depth is at the ``shed_high_water`` mark, the request is
+*shed* — answered immediately with ``Response(source="shed")`` rather
+than deepening an already-overloaded queue (see
+:mod:`repro.serve.admission`).
+
+Counters: ``serve.shard.routed``, ``serve.shard.<i>.routed``,
+``serve.shed``, ``serve.shard.<i>.shed``, ``serve.snapshot.stored``,
+``serve.rehydrated``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import time
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..blas3.routines import get_spec, infer_sizes
+from ..gpu.arch import GPUArch, GTX_285
+from ..telemetry import Telemetry, ensure_telemetry
+from ..tuner.options import TuningOptions
+from .admission import AdmissionController
+from .dispatch import Plan, PlanKey, size_bucket
+from .request import PendingResult, Response
+from .service import BlasService, ServeOptions
+
+__all__ = ["ShardRouter", "ShardedBlasService"]
+
+
+def _point(token: str) -> int:
+    """Stable 64-bit ring position (process- and run-independent)."""
+    return int.from_bytes(
+        hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class ShardRouter:
+    """Consistent-hash ring mapping ``(routine, bucket)`` → shard index.
+
+    Each shard owns ``replicas`` virtual nodes on a 64-bit ring; a key
+    routes to the first node clockwise of its hash.  Virtual nodes keep
+    ownership balanced, and the ring keeps it *stable*: growing from N
+    to N+1 shards reassigns only the slice the newcomer's nodes carve
+    out (~1/(N+1) of the key space) — every other key keeps its shard,
+    and therefore its warm plan.
+    """
+
+    def __init__(self, shards: int, replicas: int = 64):
+        if shards < 1:
+            raise ValueError("ShardRouter needs shards >= 1")
+        if replicas < 1:
+            raise ValueError("ShardRouter needs replicas >= 1")
+        self.shards = shards
+        self.replicas = replicas
+        ring = sorted(
+            (_point(f"shard-{shard}/{replica}"), shard)
+            for shard in range(shards)
+            for replica in range(replicas)
+        )
+        self._points = [point for point, _ in ring]
+        self._owners = [shard for _, shard in ring]
+
+    def route(self, routine: str, bucket: int) -> int:
+        """The shard owning ``(routine, bucket)``."""
+        point = _point(f"{routine}:{int(bucket)}")
+        index = bisect.bisect_right(self._points, point) % len(self._points)
+        return self._owners[index]
+
+    def owner_predicate(self, shard: int) -> Callable[[PlanKey], bool]:
+        """Filter for :meth:`BlasService.rehydrate_plans`: keys this
+        shard owns (the arch component is routing-irrelevant)."""
+        return lambda key: self.route(key[0], key[2]) == shard
+
+    def ownership(self, keys) -> Dict[int, List]:
+        """Group ``(routine, bucket)`` pairs by owning shard."""
+        owned: Dict[int, List] = {shard: [] for shard in range(self.shards)}
+        for routine, bucket in keys:
+            owned[self.route(routine, bucket)].append((routine, bucket))
+        return owned
+
+
+class ShardedBlasService:
+    """N dispatcher shards behind one consistent-hash ingress.
+
+    The submission surface mirrors :class:`BlasService` (``submit`` /
+    ``run`` / ``warm`` / ``flush`` / context manager); results are the
+    same :class:`PendingResult` futures, so
+    :func:`repro.serve.request.as_completed` consumes fan-out traffic
+    across shards unchanged.  All shards share one telemetry stream and
+    one tuning cache directory, and differ only in which slice of the
+    key space they own.
+    """
+
+    def __init__(
+        self,
+        arch: GPUArch = GTX_285,
+        shards: int = 2,
+        *,
+        options: Optional[ServeOptions] = None,
+        tuning: Optional[TuningOptions] = None,
+        telemetry: Optional[Telemetry] = None,
+        clock=time.monotonic,
+        replicas: int = 64,
+    ):
+        self.arch = arch
+        self.options = options or ServeOptions()
+        self.tuning = tuning or TuningOptions()
+        self.telemetry = ensure_telemetry(telemetry)
+        self.clock = clock
+        self.router = ShardRouter(shards, replicas=replicas)
+        self.admission = AdmissionController(
+            self.options.shed_high_water, telemetry=self.telemetry
+        )
+        self.workers: List[BlasService] = [
+            BlasService(
+                arch,
+                options=self.options,
+                tuning=self.tuning,
+                telemetry=self.telemetry,
+                clock=clock,
+            )
+            for _ in range(shards)
+        ]
+        self._shed_ids = itertools.count(1)
+
+    @property
+    def shards(self) -> int:
+        return len(self.workers)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ShardedBlasService":
+        for worker in self.workers:
+            worker.start()
+        return self
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.close()
+
+    def __enter__(self) -> "ShardedBlasService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ingress -------------------------------------------------------
+    def route(
+        self, routine: str, sizes: Mapping[str, int]
+    ) -> int:
+        """The shard a call with these sizes routes to."""
+        return self.router.route(get_spec(routine).name, size_bucket(sizes))
+
+    def submit(
+        self,
+        routine: str,
+        *,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        sizes: Optional[Mapping[str, int]] = None,
+        deadline_s: Optional[float] = None,
+        **arrays: np.ndarray,
+    ) -> PendingResult:
+        """Route one call to its owner shard (or shed it at the door)."""
+        spec = get_spec(routine)
+        if sizes is None:
+            sizes = infer_sizes(spec, {k: np.asarray(v) for k, v in arrays.items()})
+        bucket = size_bucket(sizes)
+        shard = self.router.route(spec.name, bucket)
+        self.telemetry.incr("serve.shard.routed")
+        self.telemetry.incr(f"serve.shard.{shard}.routed")
+        worker = self.workers[shard]
+        depth = worker.queue_depth()
+        if not self.admission.admit(shard, depth):
+            return self._shed(spec.name, shard, depth)
+        return worker.submit(
+            routine,
+            alpha=alpha,
+            beta=beta,
+            sizes=sizes,
+            deadline_s=deadline_s,
+            **arrays,
+        )
+
+    def _shed(self, routine: str, shard: int, depth: int) -> PendingResult:
+        """Instant rejection: a pre-fulfilled future, never enqueued."""
+        request_id = -next(self._shed_ids)  # negative: never a worker id
+        pending = PendingResult(request_id)
+        pending.fulfill(
+            Response(
+                request_id=request_id,
+                routine=routine,
+                output=None,
+                source="shed",
+                error=(
+                    f"shed: shard {shard} queue depth {depth} >= "
+                    f"high-water {self.admission.high_water}"
+                ),
+            )
+        )
+        return pending
+
+    def run(
+        self,
+        routine: str,
+        *,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        sizes: Optional[Mapping[str, int]] = None,
+        deadline_s: Optional[float] = None,
+        **arrays: np.ndarray,
+    ) -> np.ndarray:
+        """Submit one call and block for its result array."""
+        pending = self.submit(
+            routine,
+            alpha=alpha,
+            beta=beta,
+            sizes=sizes,
+            deadline_s=deadline_s,
+            **arrays,
+        )
+        if not pending.done():
+            self.flush()
+        return pending.output()
+
+    def flush(self) -> int:
+        """Drain every shard inline; returns total launches run."""
+        return sum(worker.flush() for worker in self.workers)
+
+    def warm(self, routine: str, n: int) -> Plan:
+        """Pre-tune on the owner shard (where traffic will route)."""
+        spec = get_spec(routine)
+        shard = self.router.route(spec.name, size_bucket(spec.make_sizes(n)))
+        return self.workers[shard].warm(routine, n)
+
+    def queue_depths(self) -> List[int]:
+        """Current queue depth per shard (the admission signal)."""
+        return [worker.queue_depth() for worker in self.workers]
+
+    def stats(self) -> Dict:
+        """Tier snapshot: shared counters + per-shard table/queue state."""
+        per_shard = []
+        for worker in self.workers:
+            with worker._lock:
+                depth = len(worker._batcher)
+                peak = worker._batcher.peak_depth
+            per_shard.append(
+                {"plans": len(worker.table), "queue_depth": depth,
+                 "peak_queue_depth": peak}
+            )
+        return {
+            "shards": self.shards,
+            "counters": self.telemetry.metrics.snapshot(),
+            "shed": self.admission.shed,
+            "per_shard": per_shard,
+        }
+
+    # -- snapshot / rehydration ----------------------------------------
+    def snapshot_plans(self, tag: str = "serve") -> int:
+        """Persist every shard's verified plans as ONE snapshot document.
+
+        A single combined document means a restarted or *re-sized* tier
+        rehydrates from one place: each worker filters the document by
+        its own ring ownership, so the same snapshot serves 1 shard or
+        8.  Returns the number of plans stored.
+        """
+        cache = self.workers[0]._snapshot_cache()
+        if cache is None:
+            return 0
+        records: List[Dict] = []
+        seen = set()
+        for worker in self.workers:
+            for record in worker.plan_records():
+                key = (record["routine"], record["bucket"])
+                if key in seen:
+                    continue
+                seen.add(key)
+                records.append(record)
+        cache.store_plan_snapshot(self.arch, tag, records)
+        self.telemetry.incr("serve.snapshot.stored", len(records))
+        return len(records)
+
+    def rehydrate_plans(self, tag: str = "serve") -> int:
+        """Each shard loads the keys it owns from the shared snapshot.
+
+        The restart/rescale path: a fresh tier (possibly with a
+        different shard count) calls this once and every worker's
+        dispatch table is hot for its slice of the key space — no
+        re-tuning, no cross-shard duplication.  Returns total plans
+        loaded.  Counter: ``serve.rehydrated``.
+        """
+        return sum(
+            worker.rehydrate_plans(tag, only=self.router.owner_predicate(shard))
+            for shard, worker in enumerate(self.workers)
+        )

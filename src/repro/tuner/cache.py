@@ -16,7 +16,12 @@ of artifacts on disk, keyed by everything that could change the answer:
 * **score documents** — every (config, gflops, verdict) an exhaustive
   search evaluated, the training corpus of the learned cost model
   (:mod:`repro.tuner.predictor`); without them the cache keeps only the
-  winner and the predictor has nothing to learn from.
+  winner and the predictor has nothing to learn from;
+* **plan snapshots** — the serving tier's dispatch table serialized as
+  one document (per arch + tag): every resident `(routine, bucket)`
+  plan's full routine record, so a restarted or newly added worker
+  rehydrates its hot plans at rebuild cost instead of re-tuning
+  (:meth:`~repro.serve.service.BlasService.snapshot_plans`).
 
 Cache keys are SHA-256 digests over a canonical JSON encoding of
 ``(FORMAT_VERSION, arch fingerprint, routine, base-script hash, space
@@ -299,6 +304,66 @@ class TuningCache:
             ):
                 continue
             yield doc
+
+    # -- plan snapshots (the serving tier's dispatch table) ------------
+    def snapshot_key(self, arch: GPUArch, tag: str) -> str:
+        """Content address of one serving tier's plan snapshot.
+
+        Keyed on the arch fingerprint and a caller-chosen ``tag`` (one
+        logical serving tier per tag) — *not* on tuning knobs: a
+        snapshot is a set of full routine records, reusable by any
+        worker serving the same arch under the same tag.
+        """
+        from .persist import FORMAT_VERSION
+
+        return _digest(
+            {
+                "format": FORMAT_VERSION,
+                "kind": "snapshot",
+                "arch": arch_fingerprint(arch),
+                "tag": tag,
+            }
+        )
+
+    def store_plan_snapshot(
+        self, arch: GPUArch, tag: str, plans: Sequence[Dict]
+    ) -> None:
+        """Persist a dispatch-table snapshot (atomic full document).
+
+        ``plans`` entries carry ``routine``, ``bucket`` and ``record``
+        (a :func:`~repro.tuner.persist.routine_record` document).  Same
+        discipline as routine winners: last full writer wins, readers
+        never observe a torn document.
+        """
+        from .persist import FORMAT_VERSION, arch_record
+
+        key = self.snapshot_key(arch, tag)
+        doc = {
+            "format": FORMAT_VERSION,
+            "key": key,
+            "arch": arch_record(arch),
+            "tag": tag,
+            "plans": list(plans),
+        }
+        self._write(self._path("snapshot", tag, key), doc)
+        self.telemetry.incr("cache.snapshot.store")
+
+    def load_plan_snapshot(self, arch: GPUArch, tag: str) -> Optional[Dict]:
+        """One snapshot document, or ``None`` on miss/corruption."""
+        from .persist import FORMAT_VERSION
+
+        key = self.snapshot_key(arch, tag)
+        doc = self._read(self._path("snapshot", tag, key))
+        if (
+            not doc
+            or doc.get("format") != FORMAT_VERSION
+            or doc.get("key") != key
+            or not isinstance(doc.get("plans"), list)
+        ):
+            self.telemetry.incr("cache.snapshot.miss")
+            return None
+        self.telemetry.incr("cache.snapshot.hit")
+        return doc
 
     # -- verification verdicts ----------------------------------------
     def _parse_verdicts(self, key: str, path: Path) -> Dict[str, bool]:

@@ -182,9 +182,16 @@ class TunedRoutine:
         c_in = np.asarray(
             kernel_inputs.get("C", 0.0), dtype=np.float32
         )
-        kernel_inputs["C"] = np.zeros(
-            tuple(d.evaluate(sizes) for d in self._array("C").dims), np.float32
-        )
+        out_shape = tuple(d.evaluate(sizes) for d in self._array("C").dims)
+        if (
+            c_in.ndim == len(out_shape)
+            and c_in.shape != out_shape
+            and all(have >= want for want, have in zip(out_shape, c_in.shape))
+        ):
+            # Oversized storage around a smaller logical problem: only
+            # the logical region participates in the beta accumulation.
+            c_in = c_in[tuple(slice(0, s) for s in out_shape)]
+        kernel_inputs["C"] = np.zeros(out_shape, np.float32)
         run = gpu.run(self.comp, sizes, kernel_inputs)
         return alpha * run.outputs[out_name] + beta * c_in
 
@@ -221,10 +228,22 @@ class TunedRoutine:
             data = np.asarray(inputs[arr.name], dtype=np.float32)
             shape = tuple(d.evaluate(penv) for d in arr.dims)
             buf = np.zeros(shape, np.float32)
-            buf[tuple(slice(0, s) for s in data.shape)] = data
+            # Copy only the logical region: callers may hand buffers
+            # *larger* than the problem named by explicit ``sizes`` (the
+            # BLAS leading-dimension convention) — anything beyond the
+            # logical extent is storage, not data.  Smaller is not
+            # storage, it is an inconsistent call.
+            logical = tuple(d.evaluate(env) for d in arr.dims)
+            if any(have < want for want, have in zip(logical, data.shape)):
+                raise ValueError(
+                    f"{self.name}: array {arr.name} has shape {data.shape}, "
+                    f"smaller than its logical extent {logical}"
+                )
+            region = tuple(slice(0, want) for want in logical)
+            buf[region] = data[region]
             if self.spec.variant.family == "TRSM" and arr.triangular:
                 # Identity on the padded diagonal keeps the solve exact.
-                n0 = data.shape[0]
+                n0 = region[0].stop
                 for d in range(n0, shape[0]):
                     buf[d, d] = 1.0
             padded_inputs[arr.name] = buf

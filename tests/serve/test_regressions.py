@@ -1,0 +1,263 @@
+"""Regression tests for the serve-layer batch/concurrency bug class.
+
+Each test here pins one of the PR 7 bugfixes — written to fail on the
+pre-fix code:
+
+* batch members inheriting the head's deadline decision (group_key
+  excluded deadline presence; expiry checked on the pre-tune clock);
+* ``DispatchTable`` LRU mutated without a lock (dispatcher thread vs
+  ``warm()`` callers);
+* the micro-batch window re-arming a full ``batch_window_s`` after a
+  late wakeup (~2× overshoot);
+* the multi-device path dropping explicit ``sizes``.
+"""
+
+import sys
+import threading
+
+import numpy as np
+
+from repro.blas3 import random_inputs, reference
+from repro.serve import DispatchTable, Plan
+from repro.serve.request import Request
+from repro.telemetry import Telemetry
+
+from .test_service import GEMM_SIZES, make_service
+
+
+class TestDeadlineBatchIsolation:
+    """Bug 1: ``group_key`` excluded ``deadline_s`` presence, so one
+    head's servability decision applied to every batch member."""
+
+    def test_deadline_head_does_not_degrade_deadline_free_mates(self):
+        service = make_service()
+        inputs = random_inputs("GEMM-NN", GEMM_SIZES, seed=31)
+        # Cold plan, no disk cache: the deadline-bound request cannot
+        # afford the tune, but its deadline-free mate explicitly can.
+        bound = service.submit("GEMM-NN", deadline_s=60.0, **inputs)
+        free = service.submit("GEMM-NN", **inputs)
+        service.flush()
+        assert bound.result().source == "fallback"
+        assert bound.result().fallback_reason == "no-plan"
+        # Pre-fix: coalesced behind the deadline-bound head -> "fallback".
+        assert free.result().source == "tuned"
+
+    def test_deadline_free_head_does_not_force_mates_through_cold_tune(self):
+        # Real clock: the head's cold tune takes orders of magnitude
+        # longer than the mate's 1 ms budget.
+        service = make_service()
+        inputs = random_inputs("GEMM-NN", GEMM_SIZES, seed=32)
+        free = service.submit("GEMM-NN", **inputs)
+        bound = service.submit("GEMM-NN", deadline_s=0.001, **inputs)
+        service.flush()
+        assert free.result().source == "tuned"
+        # Pre-fix: the mate rode the head's batch and expiry was judged
+        # on the pre-tune clock reading, so it was answered "tuned"
+        # long after its budget was spent.
+        response = bound.result()
+        assert response.source == "fallback"
+        assert response.fallback_reason in ("deadline", "no-plan")
+
+    def test_expiry_rechecked_after_plan_resolution(self, tmp_path):
+        # Populate the disk cache so a deadline-bound request takes the
+        # plan-rebuild path (has_cached -> generate()).
+        make_service(tmp_path).warm("GEMM-NN", 32)
+        ticks = [0.0]
+        service = make_service(tmp_path, clock=lambda: ticks[0])
+        resolve = service._resolve_plan
+
+        def slow_resolve(request):
+            plan, reason = resolve(request)
+            ticks[0] += 10.0  # the rebuild consumed the whole budget
+            return plan, reason
+
+        service._resolve_plan = slow_resolve
+        inputs = random_inputs("GEMM-NN", GEMM_SIZES, seed=33)
+        pending = service.submit("GEMM-NN", deadline_s=1.0, **inputs)
+        service.flush()
+        response = pending.result()
+        # Pre-fix: expired() used the pre-resolution clock reading, so
+        # the request was served "tuned" 9 seconds past its deadline.
+        assert response.source == "fallback"
+        assert response.fallback_reason == "deadline"
+        assert service.telemetry.count("serve.deadline_misses") == 1
+        np.testing.assert_allclose(
+            response.output, reference("GEMM-NN", inputs), rtol=3e-3, atol=3e-3
+        )
+
+
+class _DummyTuned:
+    """Stands in for a TunedRoutine in pure table-structure tests."""
+
+
+class TestDispatchTableLocking:
+    """Bug 2: lookup's get+move_to_end and insert's put+evict raced."""
+
+    def test_lookup_is_atomic_against_an_evicting_insert(self):
+        """Deterministic interleave: another thread's insert evicts the
+        key between lookup's ``get`` and its ``move_to_end``.  With the
+        table lock the insert must wait; without it (pre-fix) the
+        lookup dies with a KeyError."""
+        from collections import OrderedDict
+
+        table = DispatchTable(capacity=1, telemetry=Telemetry())
+        key_a = ("GEMM-NN", "arch", 16)
+        plan_a = Plan(key_a, _DummyTuned())
+        table.insert(plan_a)
+        evictor = threading.Thread(
+            target=lambda: table.insert(Plan(("GEMM-NN", "arch", 32), _DummyTuned()))
+        )
+
+        class InterleavedDict(OrderedDict):
+            fired = False
+
+            def get(self, key, default=None):
+                value = super().get(key, default)
+                if value is not None and not InterleavedDict.fired:
+                    InterleavedDict.fired = True
+                    evictor.start()
+                    evictor.join(timeout=0.25)  # blocks on the table lock
+                return value
+
+        table._plans = InterleavedDict(table._plans)
+        got = table.lookup(key_a)  # pre-fix: KeyError in move_to_end
+        assert got is plan_a
+        evictor.join()
+        assert len(table) == 1
+
+    def test_concurrent_lookup_insert_churn(self):
+        interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            table = DispatchTable(capacity=1, telemetry=Telemetry())
+            errors = []
+
+            def churn(key):
+                plan = Plan(key, _DummyTuned())
+                try:
+                    for _ in range(3000):
+                        table.insert(plan)
+                        table.lookup(plan.key)
+                except Exception as exc:  # pre-fix: KeyError in move_to_end
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=churn, args=(("GEMM-NN", "arch", 1 << b),))
+                for b in range(4, 8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+            assert len(table) <= table.capacity
+        finally:
+            sys.setswitchinterval(interval)
+
+    def test_warm_hammering_a_running_dispatcher(self):
+        interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            # capacity 1 forces constant evict/insert churn between the
+            # dispatcher thread and the warm() callers; the per-bucket
+            # generators memoize, so re-tunes are instant.
+            service = make_service(hot_plans=1, batch_window_s=0.0)
+            small = random_inputs("GEMM-NN", {"M": 16, "N": 16, "K": 16}, seed=34)
+            large = random_inputs("GEMM-NN", {"M": 32, "N": 32, "K": 32}, seed=35)
+            service.warm("GEMM-NN", 16)
+            service.warm("GEMM-NN", 32)
+            errors = []
+
+            def hammer(n):
+                try:
+                    for _ in range(200):
+                        service.warm("GEMM-NN", n)
+                except Exception as exc:
+                    errors.append(exc)
+
+            with service:
+                threads = [
+                    threading.Thread(target=hammer, args=(n,)) for n in (16, 32)
+                ]
+                for t in threads:
+                    t.start()
+                pendings = [
+                    service.submit("GEMM-NN", **(small if i % 2 else large))
+                    for i in range(40)
+                ]
+                for t in threads:
+                    t.join()
+                for pending in pendings:
+                    assert pending.result(timeout=60).ok
+            assert not errors, errors
+        finally:
+            sys.setswitchinterval(interval)
+
+
+class _LateWakeupCond:
+    """Condition stub: the first wait is a late (mid-window) wakeup, every
+    later wait runs its full timeout — all in fake-clock time."""
+
+    def __init__(self, ticks):
+        self.ticks = ticks
+        self.waits = []
+
+    def wait(self, timeout=None):
+        self.waits.append(timeout)
+        self.ticks[0] += timeout / 2 if len(self.waits) == 1 else timeout
+
+    def notify_all(self):
+        pass
+
+
+class TestBatchWindow:
+    """Bug 3: a wakeup inside the window re-armed a *full* window."""
+
+    def test_window_never_overshoots(self):
+        ticks = [0.0]
+        window = 0.010
+        service = make_service(
+            clock=lambda: ticks[0], batch_window_s=window, max_batch=4
+        )
+        cond = _LateWakeupCond(ticks)
+        service._cond = cond
+        service._running = True
+        service._batcher.append(
+            Request(id=1, routine="GEMM-NN", arrays={}, sizes=GEMM_SIZES)
+        )
+        service._await_company(ticks[0] + window)
+        # Pre-fix: the late wakeup at window/2 re-armed a full window,
+        # holding the head for 1.5x batch_window_s.
+        assert ticks[0] <= window * 1.001
+        assert len(cond.waits) == 2
+        assert abs(cond.waits[1] - window / 2) < 1e-9  # remaining, not full
+
+
+class TestMultiDeviceSizes:
+    """Bug 4: ``_run_tuned`` dropped explicit ``sizes`` on the
+    multi-device path, re-inferring the problem from padded buffers."""
+
+    @staticmethod
+    def _padded(inputs, logical, buffer_n=32):
+        out = {}
+        for name, arr in inputs.items():
+            buf = np.zeros((buffer_n, buffer_n), np.float32)
+            buf[:logical, :logical] = arr
+            out[name] = buf
+        return out
+
+    def test_explicit_sizes_agree_across_device_counts(self):
+        logical = 24
+        sizes = {"M": logical, "N": logical, "K": logical}
+        inputs = random_inputs("GEMM-NN", sizes, seed=36)
+        single = make_service(devices=1)
+        multi = make_service(devices=2)
+        got1 = single.run("GEMM-NN", sizes=sizes, **self._padded(inputs, logical))
+        got2 = multi.run("GEMM-NN", sizes=sizes, **self._padded(inputs, logical))
+        # Pre-fix: devices=2 ignored sizes and computed the padded 32x32
+        # problem while devices=1 answered the logical 24x24 one.
+        assert got2.shape == got1.shape == (logical, logical)
+        np.testing.assert_allclose(got2, got1, rtol=3e-3, atol=3e-3)
+        np.testing.assert_allclose(
+            got1, reference("GEMM-NN", inputs), rtol=3e-3, atol=3e-3
+        )

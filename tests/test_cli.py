@@ -159,6 +159,35 @@ class TestServeCli:
         out = capsys.readouterr().out
         assert "fallbacks 4" in out
 
+    def test_serve_sharded_with_shedding(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--routines",
+                    "GEMM-NN",
+                    "--requests",
+                    "8",
+                    "-n",
+                    "32",
+                    "--shards",
+                    "2",
+                    "--high-water",
+                    "2",
+                    "--window-ms",
+                    "300",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 shard(s)" in out
+        # high-water 2 while the dispatcher holds the 300 ms batch
+        # window: 2 admitted, the rest rejected at the door
+        assert "shed 6" in out
+
     def test_serve_writes_trace_json(self, capsys, tmp_path):
         trace = tmp_path / "serve-trace.json"
         assert (

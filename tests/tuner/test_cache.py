@@ -249,6 +249,65 @@ class TestFailureCounters:
         assert telemetry.count("cache.write_error") == 1
 
 
+class TestPlanSnapshots:
+    """The serving tier's dispatch-table snapshot document."""
+
+    def _records(self, tmp_path):
+        tuned = make_gen(tmp_path).generate("GEMM-NN")
+        from repro.tuner.persist import routine_record
+
+        return [{"routine": "GEMM-NN", "bucket": 32, "record": routine_record(tuned)}]
+
+    def test_roundtrip(self, tmp_path):
+        telemetry = Telemetry()
+        cache = TuningCache(tmp_path, telemetry=telemetry)
+        cache.store_plan_snapshot(GTX_285, "tier", self._records(tmp_path))
+        doc = cache.load_plan_snapshot(GTX_285, "tier")
+        assert doc is not None
+        assert doc["tag"] == "tier"
+        assert [p["bucket"] for p in doc["plans"]] == [32]
+        assert telemetry.count("cache.snapshot.store") == 1
+        assert telemetry.count("cache.snapshot.hit") == 1
+
+    def test_keyed_by_arch_and_tag(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        cache.store_plan_snapshot(GTX_285, "tier", [])
+        assert cache.load_plan_snapshot(GTX_285, "other-tier") is None
+        assert cache.load_plan_snapshot(FERMI_C2050, "tier") is None
+        assert cache.snapshot_key(GTX_285, "tier") != cache.snapshot_key(
+            FERMI_C2050, "tier"
+        )
+
+    def test_last_full_writer_wins(self, tmp_path):
+        cache = TuningCache(tmp_path)
+        records = self._records(tmp_path)
+        cache.store_plan_snapshot(GTX_285, "tier", records)
+        cache.store_plan_snapshot(GTX_285, "tier", records * 2)
+        assert len(cache.load_plan_snapshot(GTX_285, "tier")["plans"]) == 2
+
+    def test_corrupt_snapshot_is_a_miss(self, tmp_path):
+        telemetry = Telemetry()
+        cache = TuningCache(tmp_path, telemetry=telemetry)
+        cache.store_plan_snapshot(GTX_285, "tier", [])
+        for path in tmp_path.glob("snapshot-*.json"):
+            path.write_text("{broken")
+        assert cache.load_plan_snapshot(GTX_285, "tier") is None
+        assert telemetry.count("cache.snapshot.miss") == 1
+
+    def test_snapshot_rebuilds_into_a_runnable_routine(self, tmp_path):
+        from repro.tuner.persist import rebuild_routine
+
+        cache = TuningCache(tmp_path)
+        cache.store_plan_snapshot(GTX_285, "tier", self._records(tmp_path))
+        doc = cache.load_plan_snapshot(GTX_285, "tier")
+        tuned = rebuild_routine(doc["plans"][0]["record"], GTX_285)
+        sizes = {"M": 32, "N": 32, "K": 32}
+        inputs = random_inputs("GEMM-NN", sizes, seed=12)
+        np.testing.assert_allclose(
+            tuned.run(**inputs), reference("GEMM-NN", inputs), rtol=3e-3, atol=3e-3
+        )
+
+
 class TestConcurrentVerdictsLockDegradation:
     def test_lock_degrades_in_readonly_dir(self, tmp_path):
         # chmod can't stop root, so only the no-raise degradation is
