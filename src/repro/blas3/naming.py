@@ -8,6 +8,11 @@ families and their option axes:
 * ``SYMM-{L,R}{L,U}``  — side and stored triangle of the symmetric A (4),
 * ``TRMM-{L,R}{L,U}-{N,T}`` — side, uplo and transposition (8),
 * ``TRSM-{L,R}{L,U}-{N,T}`` — same (8).
+
+Beyond the paper's 24, the serving tier adds a strided-batched family:
+``BGEMM-{N,T}{N,T}`` — batched GEMM over a leading batch dimension P
+(one launch covering P independent small problems).  It is kept out of
+``ALL_VARIANTS`` (and the paper-facing library sweeps) on purpose.
 """
 
 from __future__ import annotations
@@ -15,7 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-__all__ = ["VariantName", "ALL_VARIANTS", "parse_variant", "FAMILIES"]
+__all__ = [
+    "VariantName",
+    "ALL_VARIANTS",
+    "BATCHED_VARIANTS",
+    "parse_variant",
+    "FAMILIES",
+]
 
 FAMILIES = ("GEMM", "SYMM", "TRMM", "TRSM")
 
@@ -32,8 +43,8 @@ class VariantName:
 
     @property
     def name(self) -> str:
-        if self.family == "GEMM":
-            return f"GEMM-{self.trans_a}{self.trans_b}"
+        if self.family in ("GEMM", "BGEMM"):
+            return f"{self.family}-{self.trans_a}{self.trans_b}"
         if self.family == "SYMM":
             return f"SYMM-{self.side}{self.uplo}"
         return f"{self.family}-{self.side}{self.uplo}-{self.trans}"
@@ -42,8 +53,8 @@ class VariantName:
         return self.name
 
 
-def _gemm(a: str, b: str) -> VariantName:
-    return VariantName("GEMM", trans_a=a, trans_b=b)
+def _gemm(a: str, b: str, family: str = "GEMM") -> VariantName:
+    return VariantName(family, trans_a=a, trans_b=b)
 
 
 def _symm(side: str, uplo: str) -> VariantName:
@@ -63,17 +74,22 @@ ALL_VARIANTS: Tuple[VariantName, ...] = tuple(
 
 assert len(ALL_VARIANTS) == 24
 
+#: strided-batched additions (serving-tier family, not in ALL_VARIANTS)
+BATCHED_VARIANTS: Tuple[VariantName, ...] = tuple(
+    _gemm(a, b, "BGEMM") for a in "NT" for b in "NT"
+)
+
 
 def parse_variant(name: str) -> VariantName:
     """Parse a postfix name like ``TRSM-LL-N`` back into a VariantName."""
     parts = name.upper().split("-")
     family = parts[0]
-    if family not in FAMILIES:
+    if family not in FAMILIES + ("BGEMM",):
         raise ValueError(f"unknown BLAS3 family {family!r}")
-    if family == "GEMM":
+    if family in ("GEMM", "BGEMM"):
         if len(parts) != 2 or len(parts[1]) != 2 or set(parts[1]) - set("NT"):
-            raise ValueError(f"bad GEMM variant {name!r}")
-        return _gemm(parts[1][0], parts[1][1])
+            raise ValueError(f"bad {family} variant {name!r}")
+        return _gemm(parts[1][0], parts[1][1], family)
     if family == "SYMM":
         if len(parts) != 2 or len(parts[1]) != 2:
             raise ValueError(f"bad SYMM variant {name!r}")

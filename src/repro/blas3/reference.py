@@ -46,6 +46,11 @@ def reference(
         opb = b.T if v.trans_b == "T" else b
         return alpha * (opa @ opb) + (beta * c if c is not None else 0.0)
 
+    if v.family == "BGEMM":
+        opa = a.transpose(0, 2, 1) if v.trans_a == "T" else a
+        opb = b.transpose(0, 2, 1) if v.trans_b == "T" else b
+        return alpha * np.matmul(opa, opb) + (beta * c if c is not None else 0.0)
+
     if v.family == "SYMM":
         full = densify_symmetric(a, v.uplo)
         prod = full @ b if v.side == "L" else b @ full
@@ -84,6 +89,15 @@ def random_inputs(
         out["A"] = rng.standard_normal(a_shape).astype(np.float32)
         out["B"] = rng.standard_normal(b_shape).astype(np.float32)
         out["C"] = rng.standard_normal((m, n)).astype(np.float32)
+        return out
+
+    if v.family == "BGEMM":
+        p = sizes.get("P", 1)
+        a_shape = (p, m, k) if v.trans_a == "N" else (p, k, m)
+        b_shape = (p, k, n) if v.trans_b == "N" else (p, n, k)
+        out["A"] = rng.standard_normal(a_shape).astype(np.float32)
+        out["B"] = rng.standard_normal(b_shape).astype(np.float32)
+        out["C"] = rng.standard_normal((p, m, n)).astype(np.float32)
         return out
 
     d = m if v.side == "L" else n

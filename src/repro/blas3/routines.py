@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from ..ir.ast import Array, Computation
 from ..ir.builder import build_computation
 from ..ir.affine import var
-from .naming import ALL_VARIANTS, VariantName, parse_variant
+from .naming import ALL_VARIANTS, BATCHED_VARIANTS, VariantName, parse_variant
 
 __all__ = [
     "RoutineSpec",
@@ -33,6 +33,8 @@ __all__ = [
     "all_specs",
     "infer_sizes",
     "BASE_GEMM_SCRIPT",
+    "BASE_BGEMM_SCRIPT",
+    "DEFAULT_TUNE_BATCH",
 ]
 
 #: The GEMM-NN optimization scheme (paper Fig. 3) every variant reuses.
@@ -43,6 +45,13 @@ loop_unroll(Ljjj, Lkkk);
 SM_alloc(B, Transpose);
 Reg_alloc(C);
 """
+
+#: Batched variants claim the outermost batch loop for the grid's z
+#: dimension first, then reuse the GEMM scheme per problem.
+BASE_BGEMM_SCRIPT = "batch_grid(Lp);" + BASE_GEMM_SCRIPT
+
+#: batch extent used when tuning/verifying a batched routine
+DEFAULT_TUNE_BATCH = 8
 
 
 @dataclass(frozen=True)
@@ -77,18 +86,24 @@ class RoutineSpec:
         m = sizes.get("M", 0)
         n = sizes.get("N", 0)
         k = sizes.get("K", 0)
+        p = sizes.get("P", 1)
         return {
             "2MNK": 2.0 * m * n * k,
+            "2PMNK": 2.0 * p * m * n * k,
             "2MMN": 2.0 * m * m * n,
             "2MNN": 2.0 * m * n * n,
             "MMN": float(m) * m * n,
             "MNN": float(m) * n * n,
         }[self.flops_formula]
 
-    def make_sizes(self, n: int, k: Optional[int] = None) -> Dict[str, int]:
+    def make_sizes(
+        self, n: int, k: Optional[int] = None, p: Optional[int] = None
+    ) -> Dict[str, int]:
         sizes = {"M": n, "N": n}
         if "K" in self.dim_symbols:
             sizes["K"] = k or n
+        if "P" in self.dim_symbols:
+            sizes["P"] = p or DEFAULT_TUNE_BATCH
         return sizes
 
 
@@ -102,6 +117,14 @@ def infer_sizes(spec: "RoutineSpec", inputs: Dict) -> Dict[str, int]:
     import numpy as np
 
     b = np.asarray(inputs["B"])
+    if spec.variant.family == "BGEMM":
+        a = np.asarray(inputs["A"])
+        ta = spec.variant.trans_a
+        tb = spec.variant.trans_b
+        m = a.shape[1] if ta == "N" else a.shape[2]
+        k = a.shape[2] if ta == "N" else a.shape[1]
+        n = b.shape[2] if tb == "N" else b.shape[1]
+        return {"P": a.shape[0], "M": m, "N": n, "K": k}
     if spec.variant.family == "GEMM":
         a = np.asarray(inputs["A"])
         ta = spec.variant.trans_a
@@ -141,6 +164,46 @@ def _gemm_spec(ta: str, tb: str) -> RoutineSpec:
         adaptations=tuple(adaptations),
         output="C",
         flops_formula="2MNK",
+    )
+
+
+def _bgemm_spec(ta: str, tb: str) -> RoutineSpec:
+    a_ref = "A[p][i][k]" if ta == "N" else "A[p][k][i]"
+    b_ref = "B[p][k][j]" if tb == "N" else "B[p][j][k]"
+    a_dims = (
+        (var("P"), var("M"), var("K"))
+        if ta == "N"
+        else (var("P"), var("K"), var("M"))
+    )
+    b_dims = (
+        (var("P"), var("K"), var("N"))
+        if tb == "N"
+        else (var("P"), var("N"), var("K"))
+    )
+    source = f"""
+    Lp: for (p = 0; p < P; p++)
+    Li:   for (i = 0; i < M; i++)
+    Lj:     for (j = 0; j < N; j++)
+    Lk:       for (k = 0; k < K; k++)
+                C[p][i][j] += {a_ref} * {b_ref};
+    """
+    adaptations = []
+    if ta == "T":
+        adaptations.append(("Adaptor_Transpose", "A"))
+    if tb == "T":
+        adaptations.append(("Adaptor_Transpose", "B"))
+    return RoutineSpec(
+        variant=VariantName("BGEMM", trans_a=ta, trans_b=tb),
+        source=source,
+        arrays=(
+            Array("A", a_dims),
+            Array("B", b_dims),
+            Array("C", (var("P"), var("M"), var("N"))),
+        ),
+        dim_symbols=("P", "M", "N", "K"),
+        adaptations=tuple(adaptations),
+        output="C",
+        flops_formula="2PMNK",
     )
 
 
@@ -368,8 +431,11 @@ def _build_catalog() -> Dict[str, RoutineSpec]:
     specs.extend(_symm_spec(s, u) for s in "LR" for u in "LU")
     specs.extend(_trmm_spec(s, u, t) for s in "LR" for u in "LU" for t in "NT")
     specs.extend(_trsm_spec(s, u, t) for s in "LR" for u in "LU" for t in "NT")
+    specs.extend(_bgemm_spec(a, b) for a in "NT" for b in "NT")
     catalog = {spec.name: spec for spec in specs}
-    assert set(catalog) == {v.name for v in ALL_VARIANTS}
+    assert set(catalog) == {
+        v.name for v in ALL_VARIANTS + BATCHED_VARIANTS
+    }
     return catalog
 
 

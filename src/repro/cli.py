@@ -286,6 +286,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-shard queue depth at which new requests are shed "
         "(default: admit everything)",
     )
+    p.add_argument(
+        "--pack",
+        action="store_true",
+        help="coalesce small same-routine GEMM calls into strided-batched "
+        "(BGEMM) launches",
+    )
+    p.add_argument(
+        "--min-bucket",
+        type=int,
+        default=None,
+        metavar="N",
+        help="smallest dispatch bucket; below 16 dedicated small-tile "
+        "plans are tuned (default: 16)",
+    )
     p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     _add_common(p)
     _add_tuning(p)
@@ -428,6 +442,8 @@ def _cmd_serve(args) -> int:
             args.deadline_ms / 1e3 if args.deadline_ms is not None else None
         ),
         shed_high_water=args.high_water,
+        pack_requests=args.pack,
+        **({"min_bucket": args.min_bucket} if args.min_bucket is not None else {}),
     )
     routines = [get_spec(r).name for r in args.routines]
     workload = {

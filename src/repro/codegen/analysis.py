@@ -295,7 +295,7 @@ class _StageAnalyzer:
     def _walk_block(self, body: List[Node], mult: float) -> None:
         for node in body:
             if isinstance(node, Loop):
-                if node.mapped_to in ("block.x", "block.y"):
+                if node.mapped_to in ("block.x", "block.y", "block.z"):
                     trip = _avg_trip(node, self.env)
                     self.grid_blocks *= max(1.0, trip)
                     self.env[node.var] = (

@@ -37,12 +37,17 @@ def oracle_sizes(
     bm = params.get("BM", 64)
     bn = params.get("BN", 16)
     kt = params.get("KT", 16)
+    bp = max(1, params.get("BP", 1))
     sizes = {}
     for symbol in comp.dim_symbols:
         if symbol == "N":
             sizes[symbol] = tiles * bn
         elif symbol == "K":
             sizes[symbol] = max(tiles * kt, 32)
+        elif symbol == "P":
+            # batch_grid strip-mines without bounds guards: P must be a
+            # BP multiple (and >= 2 problems to exercise the z grid)
+            sizes[symbol] = max(tiles, 2) * bp
         else:
             sizes[symbol] = tiles * bm
     return sizes

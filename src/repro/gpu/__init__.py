@@ -11,13 +11,21 @@ from .counters import (
 )
 from .occupancy import Occupancy, occupancy
 from .simulator import RunResult, SimulatedGPU
-from .timing import KernelTiming, LaunchTiming, estimate_kernel_time, estimate_time
+from .timing import (
+    BatchTiming,
+    KernelTiming,
+    LaunchTiming,
+    estimate_batched_time,
+    estimate_kernel_time,
+    estimate_time,
+)
 
 __all__ = [
     "FERMI_C2050",
     "GEFORCE_9800",
     "GPUArch",
     "GTX_285",
+    "BatchTiming",
     "KernelTiming",
     "LaunchTiming",
     "Occupancy",
@@ -30,6 +38,7 @@ __all__ = [
     "run_lockstep",
     "count_profile",
     "effective_bytes",
+    "estimate_batched_time",
     "estimate_kernel_time",
     "estimate_time",
     "occupancy",

@@ -24,7 +24,7 @@ tiled kernels carry that ILP, modeled via the per-thread work factor).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Sequence
 
 from ..codegen.analysis import KernelModel
@@ -32,7 +32,14 @@ from .arch import GPUArch
 from .counters import bank_conflict_degree, effective_bytes
 from .occupancy import Occupancy, occupancy
 
-__all__ = ["KernelTiming", "LaunchTiming", "estimate_kernel_time", "estimate_time"]
+__all__ = [
+    "KernelTiming",
+    "LaunchTiming",
+    "BatchTiming",
+    "estimate_kernel_time",
+    "estimate_time",
+    "estimate_batched_time",
+]
 
 #: occupancy knee under which latency can no longer be hidden
 _OCC_KNEE_MEM = 0.50
@@ -147,3 +154,43 @@ def estimate_kernel_time(arch: GPUArch, model: KernelModel) -> KernelTiming:
 def estimate_time(arch: GPUArch, models: Sequence[KernelModel]) -> LaunchTiming:
     """Timing for a launch sequence (remap kernels + compute kernels)."""
     return LaunchTiming([estimate_kernel_time(arch, m) for m in models])
+
+
+@dataclass
+class BatchTiming:
+    """Serial vs fused launch cost for ``batch`` copies of one problem."""
+
+    batch: int
+    #: one launch per problem: every copy pays the launch overhead and,
+    #: for grids smaller than the chip, leaves SMs idle
+    serial_s: float
+    #: one launch with the grid widened ``batch``× along ``block.z``
+    fused_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_s / self.fused_s if self.fused_s > 0 else 0.0
+
+
+def estimate_batched_time(
+    arch: GPUArch, models: Sequence[KernelModel], batch: int
+) -> BatchTiming:
+    """Why strided-batched beats launch-per-problem for small grids.
+
+    *Serial* runs the launch sequence ``batch`` times: each iteration
+    pays ``arch.launch_overhead_s`` again, and a grid of B blocks keeps
+    only ``min(B, num_sms)`` SMs busy — tiny problems leave most of the
+    chip idle every single launch.  *Fused* widens each kernel's grid
+    ``batch``× (what ``batch_grid`` does along ``block.z``): one
+    overhead, and ``min(B·batch, num_sms)`` SMs active.  The two costs
+    come from the same analytic model, so the comparison isolates
+    exactly the launch-amortisation + occupancy effect.
+    """
+    if batch < 1:
+        raise ValueError("estimate_batched_time needs batch >= 1")
+    serial = estimate_time(arch, models).time_s * batch
+    fused_models = [
+        replace(m, grid_blocks=m.grid_blocks * batch) for m in models
+    ]
+    fused = estimate_time(arch, fused_models).time_s
+    return BatchTiming(batch=batch, serial_s=serial, fused_s=fused)

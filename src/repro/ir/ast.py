@@ -56,7 +56,7 @@ __all__ = [
     "fresh_label",
 ]
 
-GRID_DIMS = ("block.x", "block.y")
+GRID_DIMS = ("block.x", "block.y", "block.z")
 THREAD_DIMS = ("thread.x", "thread.y")
 
 _label_counter = itertools.count()

@@ -24,12 +24,23 @@ __all__ = ["MicroBatcher"]
 
 
 class MicroBatcher:
-    """FIFO request queue with same-shape batch extraction."""
+    """FIFO request queue with same-shape batch extraction.
 
-    def __init__(self, max_batch: int = 8):
+    With ``pack=True`` a second coalescing tier activates: when the
+    head's exact-shape group leaves the batch under-full, queued small
+    GEMM calls sharing the head's :meth:`~Request.pack_key` shape
+    *class* (same routine, different data, possibly different shapes)
+    join as riders — the service pads them into one strided-batched
+    launch.  Exact-group members always outrank riders, and both tiers
+    preserve submission order, so extraction stays deterministic.
+    """
+
+    def __init__(self, max_batch: int = 8, pack: bool = False, pack_max_dim: int = 64):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self.max_batch = max_batch
+        self.pack = pack
+        self.pack_max_dim = pack_max_dim
         self._queue: List[Request] = []
         #: deepest the queue has ever been (telemetry gauge)
         self.peak_depth = 0
@@ -49,10 +60,24 @@ class MicroBatcher:
         if not self._queue:
             return 0
         key = self._queue[0].group_key()
-        return sum(1 for r in self._queue if r.group_key() == key)
+        count = sum(1 for r in self._queue if r.group_key() == key)
+        if self.pack:
+            pkey = self._queue[0].pack_key(self.pack_max_dim)
+            if pkey is not None:
+                count += sum(
+                    1
+                    for r in self._queue
+                    if r.group_key() != key
+                    and r.pack_key(self.pack_max_dim) == pkey
+                )
+        return count
 
     def next_batch(self) -> List[Request]:
-        """Extract the head request's group, preserving queue order."""
+        """Extract the head request's group, preserving queue order.
+
+        Pack mode then tops an under-full batch up with shape-class
+        riders (see class docstring), again in queue order.
+        """
         if not self._queue:
             return []
         key = self._queue[0].group_key()
@@ -63,5 +88,18 @@ class MicroBatcher:
                 batch.append(request)
             else:
                 rest.append(request)
+        if self.pack and len(batch) < self.max_batch:
+            pkey = batch[0].pack_key(self.pack_max_dim)
+            if pkey is not None:
+                keep: List[Request] = []
+                for request in rest:
+                    if (
+                        len(batch) < self.max_batch
+                        and request.pack_key(self.pack_max_dim) == pkey
+                    ):
+                        batch.append(request)
+                    else:
+                        keep.append(request)
+                rest = keep
         self._queue = rest
         return batch

@@ -33,11 +33,23 @@ PlanKey = Tuple[str, str, int]
 MIN_BUCKET = 16
 
 
-def size_bucket(sizes: Mapping[str, int]) -> int:
-    """Power-of-two ceiling of the largest dimension, floored at 16."""
-    largest = max(sizes.values())
-    if largest <= MIN_BUCKET:
-        return MIN_BUCKET
+def size_bucket(sizes: Mapping[str, int], floor: int = MIN_BUCKET) -> int:
+    """Power-of-two ceiling of the largest *spatial* dimension.
+
+    The batch count ``P`` is excluded: a strided-batched call of 64
+    tiny problems is still a small-tile problem, and must share a plan
+    with (and tune like) its single-problem shape class.
+
+    ``floor`` is the smallest bucket the caller serves.  The default
+    stays :data:`MIN_BUCKET` = 16; a service configured with
+    ``ServeOptions.min_bucket < 16`` passes a lower floor so N ≤ 8
+    calls get a dedicated sub-16 plan instead of sharing the 16-class
+    one (see :func:`repro.tuner.space.small_space`).
+    """
+    spatial = [v for k, v in sizes.items() if k != "P"] or list(sizes.values())
+    largest = max(spatial)
+    if largest <= floor:
+        return int(floor)
     return 1 << (int(largest) - 1).bit_length()
 
 
@@ -112,6 +124,13 @@ class DispatchTable:
             plan.hits += 1
         self.telemetry.incr("serve.plan.hit")
         return plan
+
+    def peek(self, key: PlanKey) -> Optional[Plan]:
+        """Report residency without re-heating the LRU or counting a
+        hit/miss — the inspection surface for background promotion,
+        which must not distort serving statistics."""
+        with self._lock:
+            return self._plans.get(key)
 
     def insert(self, plan: Plan) -> None:
         evicted = 0

@@ -68,6 +68,44 @@ class Request:
         """Whether the deadline budget is spent at clock reading ``now``."""
         return self.deadline_s is not None and (now - self.submitted_at) > self.deadline_s
 
+    def pack_key(self, max_dim: int = 64) -> Optional[Tuple]:
+        """Shape-*class* coalescing key for cross-request packing.
+
+        Where :meth:`group_key` requires identical shapes,
+        ``pack_key`` buckets small GEMM calls by the power-of-two
+        ceiling of their *largest* dimension — the same class the
+        dispatch table buckets by, so every member of a pack class
+        already shares a plan.  Requests agreeing on it can ride one
+        strided-batched (BGEMM) launch, zero-padded to the batch's
+        per-dimension maxima.  Returns ``None`` for calls that cannot
+        pack — non-GEMM routines, or any dimension above ``max_dim``
+        (padding waste grows with the class size; large calls saturate
+        the GPU alone).
+
+        Deadline *presence* stays part of the key for the same reason
+        it is part of ``group_key``: resolving the batched plan
+        branches on whether the batch can afford a cold tune.
+        """
+        family = self.routine.split("-", 1)[0]
+        if family != "GEMM":
+            return None
+        from ..blas3.routines import get_spec, infer_sizes
+
+        try:
+            sizes = (
+                dict(self.sizes)
+                if self.sizes is not None
+                else infer_sizes(get_spec(self.routine), self.arrays)
+            )
+        except Exception:
+            return None
+        dims = [int(v) for k, v in sizes.items() if k != "P"]
+        if not dims or max(dims) > max_dim or min(dims) < 1:
+            return None
+        largest = max(dims)
+        bucket = 1 << (largest - 1).bit_length() if largest > 1 else 1
+        return (self.routine, bucket, self.deadline_s is not None)
+
 
 @dataclass
 class Response:
@@ -97,12 +135,13 @@ class Response:
 class PendingResult:
     """One-shot future for a submitted request."""
 
-    def __init__(self, request_id: int):
+    def __init__(self, request_id: int, telemetry=None):
         self.request_id = request_id
         self._event = threading.Event()
         self._response: Optional[Response] = None
         self._lock = threading.Lock()
         self._callbacks: List[Callable[["PendingResult"], None]] = []
+        self._telemetry = telemetry
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -112,8 +151,16 @@ class PendingResult:
             self._response = response
             self._event.set()
             callbacks, self._callbacks = self._callbacks, []
+        # Callbacks run on the fulfilling (dispatcher) thread.  Each is
+        # isolated: one raising callback must not swallow its siblings
+        # or propagate into the serving loop and kill the dispatcher.
+        # Counter: ``serve.callback_errors``.
         for callback in callbacks:
-            callback(self)
+            try:
+                callback(self)
+            except Exception:
+                if self._telemetry is not None:
+                    self._telemetry.incr("serve.callback_errors")
 
     def add_done_callback(
         self, callback: Callable[["PendingResult"], None]
@@ -181,7 +228,17 @@ def as_completed(
     for remaining in range(len(pendings), 0, -1):
         wait = None if deadline is None else deadline - time.monotonic()
         if wait is not None and wait <= 0:
-            raise TimeoutError(f"{remaining} result(s) still pending after {timeout}s")
+            # The budget is spent, but results that already landed must
+            # still drain: a consumer that was busy handling earlier
+            # results would otherwise lose responses that arrived in
+            # time just because the *clock check* came late.
+            try:
+                yield ready.get_nowait()
+                continue
+            except queue.Empty:
+                raise TimeoutError(
+                    f"{remaining} result(s) still pending after {timeout}s"
+                ) from None
         try:
             yield ready.get(timeout=wait)
         except queue.Empty:

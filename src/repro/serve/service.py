@@ -10,7 +10,12 @@ cooperating mechanisms:
   PR 2 on-disk cache, so the *second* process start never searches.
 * **micro-batching** — concurrent same-shape requests coalesce into one
   simulated-GPU launch (:mod:`repro.serve.batching`); the dispatcher
-  waits up to ``batch_window_s`` for company before launching.
+  waits up to ``batch_window_s`` for company before launching.  With
+  ``pack_requests=True`` a second tier coalesces *across* requests:
+  small same-routine GEMM calls — different data, even different
+  shapes — are zero-padded into one strided-batched (BGEMM) launch,
+  so a burst of tiny problems pays one launch instead of N (counters
+  ``serve.packed`` / ``serve.pack_waste``).
 * **deadlines + graceful degradation** — a request carrying a relative
   ``deadline_s`` never waits for a cold search: if its budget expires in
   the queue, or its plan is missing and not reconstructable from the
@@ -61,8 +66,9 @@ from ..multigpu import MultiGPULibrary
 from ..telemetry import Telemetry, ensure_telemetry
 from ..tuner.library import LibraryGenerator, TunedRoutine
 from ..tuner.options import TuningOptions
+from ..tuner.space import small_space
 from .batching import MicroBatcher
-from .dispatch import DispatchTable, Plan, PlanKey, size_bucket
+from .dispatch import MIN_BUCKET, DispatchTable, Plan, PlanKey, size_bucket
 from .request import PendingResult, Request, Response
 
 __all__ = ["ServeOptions", "BlasService", "PlanUnavailableError"]
@@ -106,9 +112,19 @@ class ServeOptions:
     #: answer deadline-bound cold requests with the cost model's instant
     #: predicted plan (needs a trained model in the tuning cache dir)
     predicted_plans: bool = True
-    #: tune predicted plans for real on a background thread and promote
-    #: the verified winner on a later hit
+    #: tune predicted plans for real on a background thread and insert
+    #: the verified winner into the table as soon as it lands
     background_promotion: bool = True
+    #: coalesce small same-routine GEMM requests (different data, even
+    #: different shapes) into one strided-batched BGEMM launch
+    pack_requests: bool = False
+    #: largest dimension eligible for pad-packing (see Request.pack_key)
+    pack_max_dim: int = 64
+    #: smallest dispatch bucket.  Below the default 16 the service tunes
+    #: dedicated sub-16 plans over the small-tile space
+    #: (:func:`repro.tuner.space.small_space`), so an N=8 call stops
+    #: paying for the padded 16-class plan.
+    min_bucket: int = MIN_BUCKET
     #: per-shard queue-depth high-water mark for the sharded tier's
     #: admission control: at or beyond this depth new requests are shed
     #: (answered instantly with ``source="shed"``) instead of queued.
@@ -136,7 +152,18 @@ class BlasService:
         self.table = DispatchTable(self.options.hot_plans, telemetry=self.telemetry)
         self._generators: Dict[int, LibraryGenerator] = {}
         self._multigpu: Dict[int, MultiGPULibrary] = {}
-        self._batcher = MicroBatcher(self.options.max_batch)
+        # Guards the generator/backend get-or-create maps, which are
+        # probed from the dispatcher thread, flush() callers and warm()
+        # callers concurrently.  A dedicated RLock (re-entrant because
+        # _backend_for nests _generator_for), NOT self._lock: generator
+        # construction is slow and must not stall submitters holding
+        # the queue's condition variable.
+        self._gen_lock = threading.RLock()
+        self._batcher = MicroBatcher(
+            self.options.max_batch,
+            pack=self.options.pack_requests,
+            pack_max_dim=self.options.pack_max_dim,
+        )
         self._pending: Dict[int, PendingResult] = {}
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -144,8 +171,6 @@ class BlasService:
         self._thread: Optional[threading.Thread] = None
         self._running = False
         self._peak_reported = 0
-        #: background-tuned routines awaiting promotion, keyed by PlanKey
-        self._promotions: Dict[PlanKey, TunedRoutine] = {}
         self._background: Dict[PlanKey, threading.Thread] = {}
 
     # -- lifecycle -----------------------------------------------------
@@ -209,7 +234,7 @@ class BlasService:
             deadline_s=deadline_s,
             submitted_at=self.clock(),
         )
-        pending = PendingResult(request.id)
+        pending = PendingResult(request.id, telemetry=self.telemetry)
         self.telemetry.incr("serve.requests")
         with self._lock:
             self._pending[request.id] = pending
@@ -293,7 +318,7 @@ class BlasService:
         )
         if plan is None:
             raise PlanUnavailableError(
-                spec.name, size_bucket(sizes), reason or "unknown"
+                spec.name, self._bucket(sizes), reason or "unknown"
             )
         return plan
 
@@ -421,49 +446,58 @@ class BlasService:
             return dict(request.sizes)
         return infer_sizes(get_spec(request.routine), request.arrays)
 
+    def _bucket(self, sizes: Mapping[str, int]) -> int:
+        return size_bucket(sizes, floor=self.options.min_bucket)
+
+    def _tuning_for(self, bucket: int) -> TuningOptions:
+        """Tuning options for one size bucket: tune *at* the bucket, and
+        below the standard 16-class swap in the small-tile space (the
+        default space's BM/BN ≥ 16 tiles can only pad a sub-16 call)."""
+        tuning = self.tuning
+        if bucket:
+            tuning = tuning.replace(tune_size=bucket)
+            if bucket < MIN_BUCKET:
+                tuning = tuning.replace(space=tuple(small_space()))
+        return tuning
+
     def _generator_for(self, bucket: int) -> LibraryGenerator:
         if not self.options.bucket_tuning:
             bucket = 0
-        gen = self._generators.get(bucket)
-        if gen is None:
-            tuning = self.tuning
-            if bucket:
-                tuning = tuning.replace(tune_size=bucket)
-            gen = LibraryGenerator(
-                self.arch, telemetry=self.telemetry, options=tuning
-            )
-            self._generators[bucket] = gen
+        with self._gen_lock:
+            gen = self._generators.get(bucket)
+            if gen is None:
+                gen = LibraryGenerator(
+                    self.arch,
+                    telemetry=self.telemetry,
+                    options=self._tuning_for(bucket),
+                )
+                self._generators[bucket] = gen
         return gen
 
     def _backend_for(self, bucket: int) -> Optional[MultiGPULibrary]:
         """The multi-device backend (None for the single-GPU path)."""
         if self.options.devices <= 1:
             return None
-        lib = self._multigpu.get(bucket)
-        if lib is None:
-            lib = MultiGPULibrary(
-                self.arch,
-                self.options.devices,
-                generator=self._generator_for(bucket),
-                telemetry=self.telemetry,
-            )
-            self._multigpu[bucket] = lib
+        with self._gen_lock:
+            lib = self._multigpu.get(bucket)
+            if lib is None:
+                lib = MultiGPULibrary(
+                    self.arch,
+                    self.options.devices,
+                    generator=self._generator_for(bucket),
+                    telemetry=self.telemetry,
+                )
+                self._multigpu[bucket] = lib
         return lib
 
     def _resolve_plan(self, request: Request) -> Tuple[Optional[Plan], Optional[str]]:
         """Plan for a request, or ``(None, reason)`` when only the
         baseline can answer within the deadline."""
         sizes = self._sizes_for(request)
-        bucket = size_bucket(sizes)
+        bucket = self._bucket(sizes)
         key: PlanKey = (request.routine, self.arch.name, bucket)
         plan = self.table.lookup(key)
         if plan is not None:
-            if plan.predicted:
-                promoted = self._take_promotion(key)
-                if promoted is not None:
-                    plan = Plan(key, promoted, hits=plan.hits)
-                    self.table.insert(plan)
-                    self.telemetry.incr("serve.plan.promoted")
             return plan, None
         generator = self._generator_for(bucket)
         if request.deadline_s is not None and not generator.has_cached(request.routine):
@@ -490,13 +524,9 @@ class BlasService:
         return plan, None
 
     # -- background promotion ------------------------------------------
-    def _take_promotion(self, key: PlanKey) -> Optional[TunedRoutine]:
-        with self._lock:
-            return self._promotions.pop(key, None)
-
     def _promote_async(self, key: PlanKey, bucket: int, routine: str) -> None:
-        """Kick off the real tuning run that will replace a predicted
-        plan on a later lookup hit."""
+        """Kick off the real tuning run that will replace the predicted
+        plan as soon as it completes."""
         if not self.options.background_promotion:
             return
         with self._lock:
@@ -513,20 +543,35 @@ class BlasService:
 
     def _background_tune(self, key: PlanKey, bucket: int, routine: str) -> None:
         """Full tune on a background thread (fresh generator: the shared
-        per-bucket generators are not thread safe)."""
+        per-bucket generators are not thread safe).
+
+        The verified winner is inserted *directly* when tuning finishes.
+        Parking it for a later hit of the predicted plan would leak the
+        work whenever that plan gets LRU-evicted first — the promotion
+        entry could then never be consumed, and the next miss would
+        re-tune from scratch.  Direct insertion only replaces a
+        predicted (or absent) resident: a verified plan that arrived by
+        another path is never downgraded.
+        """
         try:
-            tuning = self.tuning
-            if self.options.bucket_tuning and bucket:
-                tuning = tuning.replace(tune_size=bucket)
             generator = LibraryGenerator(
-                self.arch, telemetry=self.telemetry, options=tuning
+                self.arch,
+                telemetry=self.telemetry,
+                options=self._tuning_for(bucket if self.options.bucket_tuning else 0),
             )
             with self.telemetry.span(
                 "serve.background_tune", routine=routine, bucket=bucket
             ):
                 tuned = generator.generate(routine)
-            with self._lock:
-                self._promotions[key] = tuned
+            # Land the tuned plan directly.  Parking it for a later hit
+            # on the *predicted* plan leaks the tune whenever the
+            # prediction is evicted first: the promotion is keyed to a
+            # plan that no longer exists and never fires.
+            resident = self.table.peek(key)
+            if resident is None or resident.predicted:
+                hits = resident.hits if resident is not None else 0
+                self.table.insert(Plan(key, tuned, hits=hits))
+                self.telemetry.incr("serve.plan.promoted")
             self.telemetry.incr("serve.background_tuned")
         except Exception:
             self.telemetry.incr("serve.background_tune_errors")
@@ -551,31 +596,162 @@ class BlasService:
             self.telemetry.incr("serve.batched_requests", len(batch))
             if len(batch) > 1:
                 self.telemetry.incr("serve.coalesced", len(batch) - 1)
-            try:
-                plan, fallback_reason = self._resolve_plan(first)
-            except Exception as exc:  # un-servable routine/shape
+            if self.options.pack_requests and len(batch) > 1:
+                if self._try_packed(batch, started, launch):
+                    return
+                # Packing declined (no batched plan, non-GEMM, ...).  A
+                # pack-tier batch may mix group keys, and the plain path
+                # resolves ONE plan for the whole batch — split back
+                # into exact-shape groups so no rider is served against
+                # the head's plan and sizes.
+                groups: Dict[Tuple, List[Request]] = {}
                 for request in batch:
-                    self._fulfill_error(request, exc, len(batch), started)
-                return
-            # Deadlines are judged *after* plan resolution: a cold tune
-            # (or cache rebuild) runs on this thread, and a batch member
-            # whose budget it consumed must degrade, not be served late
-            # as if the tune were free.
-            resolved_at = self.clock()
-            launch.tags["source"] = "fallback" if plan is None else "tuned"
-            backend = None
-            if plan is not None:
-                backend = self._backend_for(plan.bucket)
+                    groups.setdefault(request.group_key(), []).append(request)
+                if len(groups) > 1:
+                    for group in groups.values():
+                        self._execute_group(group, started, launch)
+                    return
+            self._execute_group(batch, started, launch)
+
+    def _execute_group(
+        self, batch: List[Request], started: float, launch
+    ) -> None:
+        """Serve one same-``group_key`` batch through a shared plan."""
+        first = batch[0]
+        try:
+            plan, fallback_reason = self._resolve_plan(first)
+        except Exception as exc:  # un-servable routine/shape
             for request in batch:
+                self._fulfill_error(request, exc, len(batch), started)
+            return
+        # Deadlines are judged *after* plan resolution: a cold tune
+        # (or cache rebuild) runs on this thread, and a batch member
+        # whose budget it consumed must degrade, not be served late
+        # as if the tune were free.
+        resolved_at = self.clock()
+        launch.tags["source"] = "fallback" if plan is None else "tuned"
+        backend = None
+        if plan is not None:
+            backend = self._backend_for(plan.bucket)
+        for request in batch:
+            self._serve_one(
+                request,
+                plan,
+                backend,
+                fallback_reason,
+                len(batch),
+                started,
+                resolved_at,
+            )
+
+    def _try_packed(self, batch: List[Request], started: float, launch) -> bool:
+        """Serve a whole batch as ONE strided-batched (BGEMM) launch.
+
+        Requests are stacked along the batch dimension, zero-padded to
+        the batch's per-dimension maxima; per-request ``alpha``/``beta``
+        scaling is applied host-side afterwards (the kernel computes the
+        core update, like every plan — see DESIGN.md).  Returns False
+        *without serving anything* when the batch cannot pack (non-GEMM
+        head, unsizable member, or no batched plan resolvable) — the
+        caller then falls back to per-group serving.
+
+        Counters: ``serve.packed_launches``, ``serve.packed`` (requests
+        served packed) and ``serve.pack_waste`` (padded-minus-logical
+        multiply-accumulate volume — the price of shape-class mixing).
+        """
+        first = batch[0]
+        parts = first.routine.split("-", 1)
+        if parts[0] != "GEMM":
+            return False
+        try:
+            sized = [(request, self._sizes_for(request)) for request in batch]
+        except Exception:
+            return False
+        dims = {
+            "M": max(s["M"] for _r, s in sized),
+            "N": max(s["N"] for _r, s in sized),
+            "K": max(s.get("K", s["N"]) for _r, s in sized),
+        }
+        probe = Request(
+            id=first.id,
+            routine=f"BGEMM-{parts[1]}",
+            arrays={},
+            sizes={"P": len(batch), **dims},
+            deadline_s=first.deadline_s,
+            submitted_at=first.submitted_at,
+        )
+        try:
+            plan, _reason = self._resolve_plan(probe)
+        except Exception:
+            return False
+        if plan is None:
+            return False
+        # Committed to the packed path from here on: every member is
+        # answered below.  Budgets are re-judged on the post-resolution
+        # clock, exactly like the per-group path.
+        resolved_at = self.clock()
+        live = [(r, s) for r, s in sized if not r.expired(resolved_at)]
+        for request, _sizes in sized:
+            if request.expired(resolved_at):
                 self._serve_one(
-                    request,
-                    plan,
-                    backend,
-                    fallback_reason,
-                    len(batch),
-                    started,
-                    resolved_at,
+                    request, None, None, None, len(batch), started, resolved_at
                 )
+        if not live:
+            return True
+        ta, tb = parts[1][0], parts[1][1]
+        p, m, n, k = len(live), dims["M"], dims["N"], dims["K"]
+        a_pack = np.zeros((p, m, k) if ta == "N" else (p, k, m), np.float32)
+        b_pack = np.zeros((p, k, n) if tb == "N" else (p, n, k), np.float32)
+        logical_macs = 0
+        for i, (request, s) in enumerate(live):
+            sm, sn, sk = s["M"], s["N"], s.get("K", s["N"])
+            ra = (sm, sk) if ta == "N" else (sk, sm)
+            rb = (sk, sn) if tb == "N" else (sn, sk)
+            a_in = np.asarray(request.arrays["A"], dtype=np.float32)
+            b_in = np.asarray(request.arrays["B"], dtype=np.float32)
+            a_pack[i, : ra[0], : ra[1]] = a_in[: ra[0], : ra[1]]
+            b_pack[i, : rb[0], : rb[1]] = b_in[: rb[0], : rb[1]]
+            logical_macs += sm * sn * sk
+        try:
+            packed = plan.tuned._execute(
+                {"A": a_pack, "B": b_pack, "C": np.zeros((p, m, n), np.float32)},
+                sizes={"P": p, "M": m, "N": n, "K": k},
+                alpha=1.0,
+                beta=0.0,
+            )
+        except Exception as exc:
+            for request, _s in live:
+                self._fulfill_error(request, exc, len(batch), started)
+            return True
+        launch.tags["source"] = "tuned"
+        launch.tags["packed"] = p
+        self.telemetry.incr("serve.packed_launches")
+        self.telemetry.incr("serve.packed", p)
+        self.telemetry.incr("serve.pack_waste", p * m * n * k - logical_macs)
+        for i, (request, s) in enumerate(live):
+            sm, sn = s["M"], s["N"]
+            with self.telemetry.span(
+                "serve.request", routine=request.routine, id=request.id
+            ) as span:
+                span.tags["source"] = "tuned"
+                span.tags["packed"] = True
+                result = request.alpha * packed[i, :sm, :sn]
+                c_in = request.arrays.get("C")
+                if c_in is not None and request.beta != 0.0:
+                    result = result + request.beta * np.asarray(
+                        c_in, dtype=np.float32
+                    )[:sm, :sn]
+                response = Response(
+                    request_id=request.id,
+                    routine=request.routine,
+                    output=np.asarray(result, dtype=np.float32),
+                    source="tuned",
+                    batch_size=len(batch),
+                    wait_s=max(0.0, started - request.submitted_at),
+                    total_s=max(0.0, self.clock() - request.submitted_at),
+                )
+            self._fulfill(response)
+        return True
 
     def _serve_one(
         self,

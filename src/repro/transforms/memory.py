@@ -145,7 +145,9 @@ class SMAlloc(Transform):
         target = self._resolve_target(comp, target)
         arr = comp.array(target)
         require(arr.storage == "global", f"{target} is not in global memory")
-        require(arr.rank == 2, "SM_alloc supports 2-D matrices")
+        # Batched (strided) matrices carry leading batch indices; the
+        # staged tile is still the trailing 2-D slice of one problem.
+        require(arr.rank in (2, 3), "SM_alloc supports 2-D (or batched 3-D) matrices")
         stage = comp.main_stage
         ks = KernelStructure(stage)
         p = comp.params
@@ -163,11 +165,18 @@ class SMAlloc(Transform):
                 continue
             try:
                 local = _phase_local_ranges(phase)
-                groups: Dict[Tuple[str, str, int, int], List[ArrayRef]] = {}
+                groups: Dict[Tuple, List[ArrayRef]] = {}
                 for r in reads + writes:
-                    b0, s0 = split_base_span(r.indices[0], local)
-                    b1, s1 = split_base_span(r.indices[1], local)
-                    groups.setdefault((str(b0), str(b1), s0, s1), []).append(r)
+                    parts = [split_base_span(ix, local) for ix in r.indices]
+                    require(
+                        all(s == 0 for _b, s in parts[:-2]),
+                        "batch index must be phase-invariant to stage a tile",
+                    )
+                    (b0, s0), (b1, s1) = parts[-2], parts[-1]
+                    key = tuple(str(b) for b, _s in parts[:-2]) + (
+                        str(b0), str(b1), s0, s1,
+                    )
+                    groups.setdefault(key, []).append(r)
             except TransformFailure:
                 continue  # unsized footprint: leave this phase in global memory
             written_keys = {
@@ -179,16 +188,18 @@ class SMAlloc(Transform):
                 if key in written_keys:
                     continue
                 local0 = local
-                b0, s0 = split_base_span(refs[0].indices[0], local0)
-                b1, s1 = split_base_span(refs[0].indices[1], local0)
+                parts = [split_base_span(ix, local0) for ix in refs[0].indices]
+                bases = [b for b, _s in parts]
+                s0, s1 = parts[-2][1], parts[-1][1]
                 ext = (s0 + 1, s1 + 1)
                 if extents is not None and extents != ext:
                     continue  # only one tile geometry per shared array
                 extents = ext
-                scope = _seq_loop_scope(
-                    ks, set(b0.free_vars()) | set(b1.free_vars()), phase
-                )
-                plans.append((phase, [b0, b1], ext, local0, scope))
+                base_vars = set()
+                for b in bases:
+                    base_vars |= set(b.free_vars())
+                scope = _seq_loop_scope(ks, base_vars, phase)
+                plans.append((phase, bases, ext, local0, scope))
         require(bool(plans), f"no stageable read-only references to {target}")
         # Staging discipline: once any plan stages per reduction-tile (inside
         # a sequential block loop), a block-top staging of the same shared
@@ -258,8 +269,8 @@ class SMAlloc(Transform):
         scope: Optional[Loop] = None,
     ) -> None:
         e0, e1 = extents
-        base0, base1 = bases
-        scope_key = (id(scope) if scope else None, str(base0), str(base1))
+        *lead_bases, base0, base1 = bases
+        scope_key = (id(scope) if scope else None, *[str(b) for b in bases])
         if scope_key in [s[0] for s in inserted_scopes]:
             return  # copy already staged for this scope/base combination
         inserted_scopes.append((scope_key, target))
@@ -268,13 +279,13 @@ class SMAlloc(Transform):
         # dimension of the source with threadIdx.x for coalescing.
         ci = var("ci")
         cj = var("cj")
-        src = ArrayRef(target, [base0 + ci, base1 + cj])
+        src = ArrayRef(target, [*lead_bases, base0 + ci, base1 + cj])
         if mode == "Transpose":
             dst = ArrayRef(shared_name, [cj, ci])
         else:
             dst = ArrayRef(shared_name, [ci, cj])
         if mode == "Symmetry":
-            mirror = ArrayRef(target, [base1 + cj, base0 + ci])
+            mirror = ArrayRef(target, [*lead_bases, base1 + cj, base0 + ci])
             lo_first = arr.symmetric != "upper"
             real_cond = (
                 Cmp(base0 + ci, ">=", base1 + cj)
@@ -312,18 +323,20 @@ class SMAlloc(Transform):
         bases: List[AffineExpr],
         local: Dict[str, VarRange],
     ) -> None:
-        base0, base1 = bases
+        *_lead_bases, base0, base1 = bases
 
         def rewrite_expr(ref: ArrayRef) -> ArrayRef:
             if ref.array != target:
                 return ref
             # Only rewrite refs belonging to this staged (read-only) group.
-            b0, _ = split_base_span(ref.indices[0], local)
-            b1, _ = split_base_span(ref.indices[1], local)
-            if b0 != base0 or b1 != base1:
+            parts = [split_base_span(ix, local) for ix in ref.indices]
+            ref_bases = [b for b, _s in parts]
+            if len(ref_bases) != len(bases) or any(
+                rb != b for rb, b in zip(ref_bases, bases)
+            ):
                 return ref
-            local0 = ref.indices[0] - base0
-            local1 = ref.indices[1] - base1
+            local0 = ref.indices[-2] - base0
+            local1 = ref.indices[-1] - base1
             if mode == "Transpose":
                 return ArrayRef(shared_name, [local1, local0])
             return ArrayRef(shared_name, [local0, local1])

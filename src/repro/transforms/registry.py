@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from .base import POOL_POLYHEDRAL, POOL_TRADITIONAL, Transform
+from .batch import BatchGrid
 from .format_iteration import FormatIteration
 from .gm_map import GMMap
 from .loop_ops import LoopFission, LoopFusion, LoopInterchange
@@ -22,6 +23,7 @@ __all__ = ["REGISTRY", "get_transform", "pool_of", "polyhedral_pool", "tradition
 
 _ALL = [
     ThreadGrouping(),
+    BatchGrid(),
     LoopTiling(),
     LoopUnroll(),
     LoopInterchange(),

@@ -78,7 +78,24 @@ class ThreadGrouping(Transform):
         p = comp.params
         stage = comp.main_stage
 
-        path_j = find_loop_path(stage.body, label_j)
+        # A prior batch_grid leaves the (Li, Lj) pair wrapped in batch
+        # loops (block.z grid level, optionally a serial BP strip).
+        # Descend through them: grouping then happens per batch problem.
+        batch_labels = tuple(stage.meta.get("batch_labels", ()))
+        host_body = stage.body
+        batch_depth = 0
+        while (
+            len(host_body) == 1
+            and isinstance(host_body[0], Loop)
+            and (
+                host_body[0].mapped_to == "block.z"
+                or host_body[0].label in batch_labels
+            )
+        ):
+            host_body = host_body[0].body
+            batch_depth += 1
+
+        path_j = find_loop_path(host_body, label_j)
         require(path_j is not None, f"loop {label_j!r} not found")
         loop_i = path_j[0] if path_j[0].label == label_i else None
         require(
@@ -90,7 +107,10 @@ class ThreadGrouping(Transform):
             len(path_j) == 2 and len(loop_i.body) == 1 and loop_i.body[0] is loop_j,
             "thread_grouping expects a perfectly nested (Li, Lj) pair",
         )
-        require(stage.body == [loop_i], f"{label_i!r} must be the stage's outer loop")
+        require(
+            host_body == [loop_i],
+            f"{label_i!r} must be the stage's outer loop (below any batch level)",
+        )
         require(
             loop_i.lower.is_constant and loop_i.lower.constant_value == 0,
             "Li must start at 0",
@@ -100,8 +120,8 @@ class ThreadGrouping(Transform):
             "Lj must start at 0",
         )
 
-        i_parallel = not carries_dependence(stage.body, 0)
-        j_parallel = not carries_dependence(stage.body, 1)
+        i_parallel = not carries_dependence(stage.body, batch_depth)
+        j_parallel = not carries_dependence(stage.body, batch_depth + 1)
         require(
             i_parallel or j_parallel,
             "thread_grouping needs at least one parallel loop",
@@ -123,7 +143,7 @@ class ThreadGrouping(Transform):
             ]
             i_base, j_base = "bi", "jbb"
 
-        stage.body[:] = new_body
+        host_body[:] = new_body
         stage.meta.update(
             {
                 "i_base": i_base,

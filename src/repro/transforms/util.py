@@ -105,11 +105,19 @@ class KernelStructure:
     def __init__(self, stage: Stage):
         self.stage = stage
         self.block_loops: List[Loop] = []
+        # Batch loops (a block.z grid level plus an optional serial BP
+        # strip from batch_grid) sit above the x/y block loops; descend
+        # through them so `host`/`items` keep meaning "the per-tile
+        # block-level item list".
+        batch_labels = tuple(stage.meta.get("batch_labels", ()))
         node_list = stage.body
         while (
             len(node_list) == 1
             and isinstance(node_list[0], Loop)
-            and node_list[0].mapped_to in ("block.x", "block.y")
+            and (
+                node_list[0].mapped_to in ("block.x", "block.y", "block.z")
+                or node_list[0].label in batch_labels
+            )
         ):
             self.block_loops.append(node_list[0])
             node_list = node_list[0].body

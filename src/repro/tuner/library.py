@@ -196,6 +196,8 @@ class TunedRoutine:
         return alpha * run.outputs[out_name] + beta * c_in
 
     def _tile_for(self, sym: str) -> int:
+        if sym == "P":
+            return max(1, self.config.get("BP", 1))
         return {"M": self.config["BM"], "N": self.config["BN"], "K": self.config["KT"]}[sym]
 
     def _tile_divisible(self, sizes: Mapping[str, int]) -> bool:
@@ -376,6 +378,10 @@ class LibraryGenerator:
             )
             for inv in self.base_script
         ]
+        if "P" in spec.dim_symbols:
+            # Batched variants claim the outer batch loop for the z grid
+            # before the GEMM scheme runs per problem (BASE_BGEMM_SCRIPT).
+            invocations.insert(0, Invocation("batch_grid", ("Lp",), ()))
         return EpodScript(invocations, name=self.base_script.name)
 
     def candidates(self, name: str) -> List[ComposedScript]:

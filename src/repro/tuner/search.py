@@ -298,6 +298,23 @@ class VariantSearch:
         #: sequential fallback (``None`` while the pool behaves).
         self.last_pool_error: Optional[str] = None
 
+    #: batch-strip extents crossed into the space for batched routines
+    BATCH_STRIPS = (1, 2, 4)
+
+    def _space_for(self, spec) -> List[Config]:
+        """Effective config space for one routine.
+
+        Batched routines cross the base space with the ``BP`` knob
+        (problems per z-block, see ``batch_grid``); everything else uses
+        the base space untouched, so non-batched searches, their cache
+        keys and score corpora are byte-identical to before.
+        """
+        if "P" not in spec.dim_symbols:
+            return list(self.space)
+        return [
+            {**cfg, "BP": bp} for cfg in self.space for bp in self.BATCH_STRIPS
+        ]
+
     def _rank_space(
         self, routine_name: str, sizes: Dict[str, int]
     ) -> Optional[List[Config]]:
@@ -341,12 +358,16 @@ class VariantSearch:
         jobs = resolve_jobs(jobs) if jobs is not None else self.jobs
 
         candidates = list(candidates)
+        base_space = self._space_for(spec)
+        batched = "P" in spec.dim_symbols
         budget = self.topk if topk is None else (topk or None)
         ranked = None
-        if budget is not None and budget < len(self.space):
+        # The cost model was trained on the BP-less feature set; batched
+        # routines always sweep their (small) expanded space exhaustively.
+        if not batched and budget is not None and budget < len(base_space):
             ranked = self._rank_space(routine_name, sizes)
-        space = ranked[:budget] if ranked is not None else list(self.space)
-        n_units = len(candidates) * len(self.space)
+        space = ranked[:budget] if ranked is not None else base_space
+        n_units = len(candidates) * len(base_space)
         with self.telemetry.span(
             "search",
             routine=routine_name,
@@ -380,8 +401,8 @@ class VariantSearch:
                     f"no feasible (script, config) for {routine_name} on {self.arch.name}"
                 )
             sp.tags["best_gflops"] = best.gflops
-            complete = len(space) == len(self.space)
-            if complete and self.predictor is not None:
+            complete = len(space) == len(base_space)
+            if complete and not batched and self.predictor is not None:
                 # Online quality signal: the sweep was exhaustive, so the
                 # true winner is known — did the model's top-k contain it?
                 if ranked is None:

@@ -15,7 +15,13 @@ from typing import Dict, List, Optional, Sequence
 from ..gpu.arch import GPUArch
 from ..gpu.occupancy import occupancy
 
-__all__ = ["Config", "default_space", "prune_space", "DEFAULT_SPACE"]
+__all__ = [
+    "Config",
+    "default_space",
+    "small_space",
+    "prune_space",
+    "DEFAULT_SPACE",
+]
 
 Config = Dict[str, int]
 
@@ -58,6 +64,29 @@ def default_space() -> List[Config]:
 
 
 DEFAULT_SPACE: List[Config] = default_space()
+
+
+def small_space() -> List[Config]:
+    """Configurations for sub-16 dispatch buckets (N ≤ 8).
+
+    The default grid starts at BM=BN=16, so an N=8 problem padded to the
+    16-class wastes 4–8× the arithmetic.  These shapes keep the block
+    tile at or below the bucket while still filling a warp (TX·TY ≥ 32);
+    they satisfy :func:`_structurally_valid` by construction.
+    """
+    small = [
+        {"BM": 8, "BN": 8, "KT": 4, "TX": 8, "TY": 4},
+        {"BM": 8, "BN": 8, "KT": 8, "TX": 8, "TY": 4},
+        {"BM": 8, "BN": 16, "KT": 4, "TX": 8, "TY": 4},
+        {"BM": 16, "BN": 8, "KT": 4, "TX": 16, "TY": 2},
+        {"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 4},
+        {"BM": 16, "BN": 16, "KT": 4, "TX": 16, "TY": 2},
+    ]
+    for cfg in small:
+        threads = cfg["TX"] * cfg["TY"]
+        assert 32 <= threads <= 512
+        assert cfg["BM"] % cfg["TX"] == 0 and cfg["BN"] % cfg["TY"] == 0
+    return small
 
 
 def prune_space(

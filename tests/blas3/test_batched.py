@@ -1,0 +1,70 @@
+"""Tests for the strided-batched BGEMM routine family."""
+
+import numpy as np
+import pytest
+
+from repro.blas3 import build_routine, get_spec, random_inputs, reference
+from repro.blas3.naming import BATCHED_VARIANTS
+from repro.blas3.routines import BASE_BGEMM_SCRIPT, DEFAULT_TUNE_BATCH, infer_sizes
+from repro.composer import check_equivalence, oracle_sizes
+from repro.epod import parse_script, translate
+from repro.ir import validate
+
+SIZES = {"P": 3, "M": 8, "N": 8, "K": 8}
+BATCHED_NAMES = [v.name for v in BATCHED_VARIANTS]
+
+
+class TestBatchedCatalog:
+    def test_four_batched_variants(self):
+        assert BATCHED_NAMES == ["BGEMM-NN", "BGEMM-NT", "BGEMM-TN", "BGEMM-TT"]
+
+    def test_specs_build_and_validate(self):
+        for name in BATCHED_NAMES:
+            validate(build_routine(name))
+
+    def test_nominal_flops_counts_batch(self):
+        spec = get_spec("BGEMM-NN")
+        assert spec.nominal_flops({"P": 4, "M": 8, "N": 6, "K": 5}) == 2 * 4 * 8 * 6 * 5
+
+    def test_make_sizes_includes_tune_batch(self):
+        assert get_spec("BGEMM-NN").make_sizes(16) == {
+            "M": 16,
+            "N": 16,
+            "K": 16,
+            "P": DEFAULT_TUNE_BATCH,
+        }
+
+    @pytest.mark.parametrize("name", BATCHED_NAMES)
+    def test_infer_sizes_from_arrays(self, name):
+        sizes = {"P": 3, "M": 8, "N": 6, "K": 5}
+        inputs = random_inputs(name, sizes, seed=0)
+        assert infer_sizes(get_spec(name), inputs) == sizes
+
+    @pytest.mark.parametrize("name", BATCHED_NAMES)
+    def test_reference_matches_per_slice_gemm(self, name):
+        inputs = random_inputs(name, SIZES, seed=1)
+        got = reference(name, inputs, alpha=2.0, beta=0.5)
+        unbatched = "GEMM-" + name.split("-", 1)[1]
+        for p in range(SIZES["P"]):
+            per_slice = {k: v[p] for k, v in inputs.items()}
+            want = reference(unbatched, per_slice, alpha=2.0, beta=0.5)
+            np.testing.assert_allclose(got[p], want, rtol=1e-6, atol=1e-6)
+
+
+class TestBatchedPipeline:
+    """The batched base script through the full translate → oracle flow."""
+
+    PARAMS = {"BM": 8, "BN": 8, "KT": 4, "TX": 4, "TY": 2}
+
+    @pytest.mark.parametrize("bp", [1, 2])
+    def test_base_script_equivalent(self, bp):
+        source = build_routine("BGEMM-NN")
+        params = dict(self.PARAMS, BP=bp)
+        result = translate(source, parse_script(BASE_BGEMM_SCRIPT), params=params)
+        verdict = check_equivalence(result.comp, source, params)
+        assert verdict.ok, verdict.reason
+
+    def test_oracle_sizes_scale_batch_with_strip(self):
+        source = build_routine("BGEMM-NN")
+        sizes = oracle_sizes(source, dict(self.PARAMS, BP=2))
+        assert sizes["P"] % 2 == 0

@@ -13,6 +13,7 @@ from repro.gpu import (
     SimulatedGPU,
     bank_conflict_degree,
     effective_bytes,
+    estimate_batched_time,
     estimate_time,
     transactions_per_group,
 )
@@ -143,3 +144,33 @@ class TestTiming:
         assert c.gld_coherent > 0
         assert c.gld_incoherent == 0  # tuned GEMM is fully coalesced
         assert c.instructions > 0
+
+
+class TestBatchedTiming:
+    """Fused-vs-serial account for strided-batched launches."""
+
+    SMALL = {"M": 64, "N": 64, "K": 64}  # a handful of blocks: idle SMs
+
+    def test_serial_scales_linearly(self):
+        models = analyze_computation(tuned_gemm(), self.SMALL)
+        single = estimate_time(GTX_285, models).time_s
+        batched = estimate_batched_time(GTX_285, models, 4)
+        assert batched.serial_s == pytest.approx(4 * single)
+
+    def test_fused_beats_serial_for_small_grids(self):
+        models = analyze_computation(tuned_gemm(), self.SMALL)
+        batched = estimate_batched_time(GTX_285, models, 8)
+        assert batched.fused_s < batched.serial_s
+        assert batched.speedup > 1.0
+
+    def test_batch_of_one_is_the_plain_estimate(self):
+        models = analyze_computation(tuned_gemm(), self.SMALL)
+        single = estimate_time(GTX_285, models).time_s
+        batched = estimate_batched_time(GTX_285, models, 1)
+        assert batched.fused_s == pytest.approx(single)
+        assert batched.serial_s == pytest.approx(single)
+
+    def test_rejects_nonpositive_batch(self):
+        models = analyze_computation(tuned_gemm(), self.SMALL)
+        with pytest.raises(ValueError):
+            estimate_batched_time(GTX_285, models, 0)

@@ -1,0 +1,178 @@
+"""Tests for cross-request packing and sub-16 dispatch buckets.
+
+The second coalescing tier of PR 8: small same-routine GEMM calls with
+*different* shapes ride one strided-batched (BGEMM) launch, and
+services configured with ``min_bucket < 16`` give N ≤ 8 calls their own
+plan instead of sharing the 16-class one.
+"""
+
+import numpy as np
+
+from repro.blas3 import random_inputs, reference
+from repro.gpu import GTX_285
+from repro.serve import BlasService, ServeOptions
+from repro.serve.batching import MicroBatcher
+from repro.serve.dispatch import MIN_BUCKET, size_bucket
+from repro.serve.request import Request
+from repro.telemetry import Telemetry
+from repro.tuner import TuningOptions
+
+SMALL_SPACE = ({"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2},)
+
+
+def _gemm(rid, m, n, k, routine="GEMM-NN", deadline=None):
+    arrays = {
+        "A": np.zeros((m, k), np.float32),
+        "B": np.zeros((k, n), np.float32),
+        "C": np.zeros((m, n), np.float32),
+    }
+    return Request(id=rid, routine=routine, arrays=arrays, deadline_s=deadline)
+
+
+def make_service(**serve_kwargs):
+    return BlasService(
+        GTX_285,
+        options=ServeOptions(**serve_kwargs),
+        tuning=TuningOptions(space=SMALL_SPACE),
+        telemetry=Telemetry(),
+    )
+
+
+class TestPackKey:
+    def test_same_class_different_shapes_match(self):
+        assert _gemm(1, 8, 12, 10).pack_key() == _gemm(2, 12, 8, 8).pack_key()
+
+    def test_class_is_pow2_ceiling_of_largest_dim(self):
+        assert _gemm(1, 5, 6, 7).pack_key()[1] == 8
+        assert _gemm(2, 9, 4, 4).pack_key()[1] == 16
+
+    def test_large_calls_do_not_pack(self):
+        assert _gemm(1, 65, 8, 8).pack_key() is None
+        assert _gemm(2, 33, 8, 8).pack_key(max_dim=32) is None
+
+    def test_non_gemm_does_not_pack(self):
+        request = Request(
+            id=1,
+            routine="SYMM-LL",
+            arrays={
+                "A": np.zeros((8, 8), np.float32),
+                "B": np.zeros((8, 8), np.float32),
+                "C": np.zeros((8, 8), np.float32),
+            },
+        )
+        assert request.pack_key() is None
+
+    def test_deadline_presence_splits_classes(self):
+        free = _gemm(1, 8, 8, 8)
+        bound = _gemm(2, 8, 8, 8, deadline=1.0)
+        assert free.pack_key() != bound.pack_key()
+
+
+class TestPackTier:
+    def test_riders_top_up_underfull_batch(self):
+        batcher = MicroBatcher(max_batch=4, pack=True)
+        batcher.append(_gemm(0, 8, 8, 8))
+        batcher.append(_gemm(1, 8, 8, 8))
+        batcher.append(_gemm(2, 6, 7, 8))  # same class, different shape
+        batcher.append(_gemm(3, 32, 32, 32))  # different class stays queued
+        assert [r.id for r in batcher.next_batch()] == [0, 1, 2]
+        assert [r.id for r in batcher.next_batch()] == [3]
+
+    def test_exact_group_outranks_riders(self):
+        batcher = MicroBatcher(max_batch=2, pack=True)
+        batcher.append(_gemm(0, 8, 8, 8))
+        batcher.append(_gemm(1, 6, 6, 6))  # rider candidate
+        batcher.append(_gemm(2, 8, 8, 8))  # exact-group member
+        assert [r.id for r in batcher.next_batch()] == [0, 2]
+        assert [r.id for r in batcher.next_batch()] == [1]
+
+    def test_pack_off_keeps_exact_grouping(self):
+        batcher = MicroBatcher(max_batch=4)
+        batcher.append(_gemm(0, 8, 8, 8))
+        batcher.append(_gemm(1, 6, 6, 6))
+        assert [r.id for r in batcher.next_batch()] == [0]
+
+    def test_matching_head_counts_riders(self):
+        batcher = MicroBatcher(max_batch=8, pack=True)
+        batcher.append(_gemm(0, 8, 8, 8))
+        batcher.append(_gemm(1, 7, 7, 7))
+        assert batcher.matching_head() == 2
+
+
+class TestSizeBucket:
+    def test_default_floor_unchanged(self):
+        assert size_bucket({"M": 1, "N": 3}) == MIN_BUCKET
+
+    def test_lower_floor_gives_sub16_buckets(self):
+        assert size_bucket({"M": 3, "N": 2}, floor=4) == 4
+        assert size_bucket({"M": 7, "N": 2}, floor=4) == 8
+        assert size_bucket({"M": 9, "N": 2}, floor=4) == 16
+
+    def test_batch_dim_excluded(self):
+        assert size_bucket({"P": 512, "M": 8, "N": 8, "K": 8}, floor=8) == 8
+
+
+class TestPackedService:
+    def test_mixed_shapes_serve_from_one_batched_launch(self):
+        service = make_service(pack_requests=True, batch_window_s=0.0)
+        # all four shapes share the 16 pack class (largest dim in 9..16)
+        shapes = [(9, 12, 10), (12, 9, 9), (16, 9, 9), (10, 16, 12)]
+        pendings, wants = [], []
+        for i, (m, n, k) in enumerate(shapes):
+            inputs = random_inputs("GEMM-NN", {"M": m, "N": n, "K": k}, seed=i)
+            wants.append(reference("GEMM-NN", inputs, alpha=2.0, beta=0.5))
+            pendings.append(
+                service.submit("GEMM-NN", alpha=2.0, beta=0.5, **inputs)
+            )
+        service.flush()
+        for pending, want in zip(pendings, wants):
+            response = pending.result()
+            assert response.ok and response.batch_size == len(shapes)
+            np.testing.assert_allclose(response.output, want, rtol=3e-3, atol=3e-3)
+        counters = service.telemetry.metrics.snapshot()
+        assert counters["serve.packed_launches"] == 1
+        assert counters["serve.packed"] == len(shapes)
+        assert counters["serve.pack_waste"] > 0
+
+    def test_packing_off_by_default(self):
+        service = make_service()
+        assert service._batcher.pack is False
+
+    def test_pack_decline_splits_heterogeneous_batch(self, monkeypatch):
+        # If the packed attempt declines (e.g. no BGEMM plan resolves),
+        # a batch holding pack-tier riders must split back into exact
+        # shape groups — a rider must never be served against the
+        # head's differently-shaped plan.
+        service = make_service(pack_requests=True)
+        monkeypatch.setattr(service, "_try_packed", lambda *a, **k: False)
+        cases = []
+        for i, (m, n, k) in enumerate([(9, 12, 10), (12, 9, 9)]):
+            inputs = random_inputs("GEMM-NN", {"M": m, "N": n, "K": k}, seed=i)
+            want = reference("GEMM-NN", inputs)
+            cases.append((service.submit("GEMM-NN", **inputs), want))
+        service.flush()
+        for pending, want in cases:
+            response = pending.result()
+            assert response.ok and response.batch_size == 1
+            np.testing.assert_allclose(response.output, want, rtol=3e-3, atol=3e-3)
+        assert service.telemetry.metrics.snapshot().get("serve.packed") is None
+
+
+class TestSub16Buckets:
+    def test_sub16_call_gets_its_own_plan(self):
+        service = make_service(min_bucket=4)
+        inputs = random_inputs("GEMM-NN", {"M": 8, "N": 8, "K": 8}, seed=11)
+        got = service.run("GEMM-NN", alpha=1.5, beta=0.5, **inputs)
+        want = reference("GEMM-NN", inputs, alpha=1.5, beta=0.5)
+        np.testing.assert_allclose(got, want, rtol=3e-3, atol=3e-3)
+        plan = service.table.peek(("GEMM-NN", GTX_285.name, 8))
+        assert plan is not None
+        config = plan.tuned.config
+        assert config["BM"] <= 8 or config["BN"] <= 8 or config["KT"] <= 8
+
+    def test_default_floor_shares_the_16_class(self):
+        service = make_service()
+        inputs = random_inputs("GEMM-NN", {"M": 8, "N": 8, "K": 8}, seed=12)
+        service.run("GEMM-NN", **inputs)
+        assert service.table.peek(("GEMM-NN", GTX_285.name, 16)) is not None
+        assert service.table.peek(("GEMM-NN", GTX_285.name, 8)) is None

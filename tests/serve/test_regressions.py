@@ -10,18 +10,33 @@ pre-fix code:
 * the micro-batch window re-arming a full ``batch_window_s`` after a
   late wakeup (~2× overshoot);
 * the multi-device path dropping explicit ``sizes``.
+
+And the PR 8 batch (same discipline — each fails pre-fix):
+
+* ``as_completed`` raising ``TimeoutError`` on expiry without draining
+  results that already landed;
+* a raising ``add_done_callback`` callback propagating out of
+  ``PendingResult.fulfill`` on the dispatcher thread (and swallowing
+  its sibling callbacks);
+* the per-bucket generator/backend maps mutated without a lock
+  (dispatcher vs ``flush()``/``warm()`` callers double-constructing);
+* background-promoted plans parked until a hit of the *predicted*
+  resident — leaked forever if that plan was LRU-evicted first.
 """
 
 import sys
 import threading
 
 import numpy as np
+import pytest
 
 from repro.blas3 import random_inputs, reference
-from repro.serve import DispatchTable, Plan
-from repro.serve.request import Request
+from repro.serve import DispatchTable, Plan, as_completed
+from repro.serve.request import PendingResult, Request, Response
 from repro.telemetry import Telemetry
 
+from .test_predicted_plans import make_service as make_predicted_service
+from .test_predicted_plans import model_dir
 from .test_service import GEMM_SIZES, make_service
 
 
@@ -261,3 +276,147 @@ class TestMultiDeviceSizes:
         np.testing.assert_allclose(
             got1, reference("GEMM-NN", inputs), rtol=3e-3, atol=3e-3
         )
+
+
+class TestAsCompletedDrain:
+    """PR 8 bug 1: ``as_completed`` raised ``TimeoutError`` the moment the
+    budget read non-positive, abandoning responses that had already
+    landed in the ready queue."""
+
+    def _done(self, request_id):
+        pending = PendingResult(request_id)
+        pending.fulfill(Response(request_id=request_id, routine="GEMM-NN"))
+        return pending
+
+    def test_landed_results_drain_after_expiry(self):
+        pendings = [self._done(i) for i in range(3)]
+        # timeout=0: the budget is spent before the first wait, but all
+        # three responses are already sitting in the ready queue.
+        got = list(as_completed(pendings, timeout=0))
+        # Pre-fix: TimeoutError("3 result(s) still pending") despite
+        # nothing being pending at all.
+        assert {p.request_id for p in got} == {0, 1, 2}
+
+    def test_expiry_with_genuinely_pending_results_still_raises(self):
+        results = iter(as_completed([self._done(1), PendingResult(2)], timeout=0.02))
+        assert next(results).request_id == 1
+        with pytest.raises(TimeoutError, match="1 result"):
+            next(results)
+
+
+class TestCallbackIsolation:
+    """PR 8 bug 2: one raising done-callback propagated out of
+    ``fulfill`` on the dispatcher thread and starved its siblings."""
+
+    def test_raising_callback_does_not_escape_or_starve_siblings(self):
+        telemetry = Telemetry()
+        pending = PendingResult(7, telemetry=telemetry)
+        seen = []
+
+        def bad(_pending):
+            raise RuntimeError("subscriber bug")
+
+        pending.add_done_callback(bad)
+        pending.add_done_callback(lambda p: seen.append(p.request_id))
+        # Pre-fix: fulfill re-raises the subscriber's RuntimeError (on
+        # the real service this runs on — and kills — the dispatcher
+        # thread) and the second callback never fires.
+        pending.fulfill(Response(request_id=7, routine="GEMM-NN"))
+        assert seen == [7]
+        assert telemetry.count("serve.callback_errors") == 1
+
+    def test_dispatcher_survives_a_raising_callback(self):
+        service = make_service()
+        inputs = random_inputs("GEMM-NN", GEMM_SIZES, seed=37)
+        with service:
+            first = service.submit("GEMM-NN", **inputs)
+            first.add_done_callback(lambda p: (_ for _ in ()).throw(ValueError))
+            first.result(timeout=60)
+            # the dispatcher thread must still be alive to serve this
+            second = service.submit("GEMM-NN", **inputs)
+            assert second.result(timeout=60).ok
+        assert service.telemetry.count("serve.callback_errors") == 1
+
+
+class TestGeneratorMapLocking:
+    """PR 8 bug 3: ``_generator_for``/``_backend_for`` mutated their
+    get-or-create maps unlocked across dispatcher/flush()/warm()."""
+
+    def test_generator_get_or_create_is_atomic(self):
+        """Deterministic interleave: another thread races the map probe.
+        With the lock it must receive the SAME generator instance; the
+        pre-fix code double-constructs (losing one generator's memoized
+        tuning state) and the two callers disagree."""
+        service = make_service()
+        racing = []
+        racer = threading.Thread(
+            target=lambda: racing.append(service._generator_for(32))
+        )
+
+        class InterleavedDict(dict):
+            fired = False
+
+            def get(self, key, default=None):
+                value = super().get(key, default)
+                if value is None and not InterleavedDict.fired:
+                    InterleavedDict.fired = True
+                    racer.start()
+                    racer.join(timeout=0.25)  # with the fix: blocks on _gen_lock
+                return value
+
+        service._generators = InterleavedDict()
+        mine = service._generator_for(32)
+        racer.join()
+        assert racing[0] is mine
+
+    def test_concurrent_warm_and_flush_share_generators(self):
+        interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            service = make_service()
+            errors = []
+
+            def hammer(n):
+                try:
+                    for _ in range(50):
+                        service._generator_for(n)
+                        service._backend_for(n)
+                except Exception as exc:
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, args=(n,))
+                for n in (16, 32, 64, 16, 32, 64)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+            # one generator per probed bucket, never a double-construct
+            assert sorted(service._generators) == [16, 32, 64]
+        finally:
+            sys.setswitchinterval(interval)
+
+
+class TestPromotionLeak:
+    """PR 8 bug 4: the background-tuned plan was parked until a later
+    hit of the *predicted* resident consumed it — if the predicted plan
+    was LRU-evicted first, the tuned plan leaked and never served."""
+
+    def test_background_tune_lands_even_if_prediction_evicted(self, tmp_path):
+        # capacity-1 table: the next tuned routine evicts the prediction
+        service = make_predicted_service(model_dir(tmp_path), hot_plans=1)
+        inputs = random_inputs("GEMM-NN", GEMM_SIZES, seed=41)
+        first = service.submit("GEMM-NN", deadline_s=30.0, **inputs)
+        service.flush()
+        assert first.result().source == "tuned"
+        assert service.telemetry.count("serve.predicted_plans") == 1
+        # evict the predicted GEMM plan out of the capacity-1 LRU
+        service.run("SYMM-LL", **random_inputs("SYMM-LL", GEMM_SIZES, seed=42))
+        service.join_background(timeout=120)
+        counters = service.telemetry.metrics.snapshot()
+        assert counters["serve.background_tuned"] == 1
+        # Pre-fix: the tuned plan sat in the promotion side-table keyed
+        # to a plan that no longer exists — promoted stayed 0 forever.
+        assert counters["serve.plan.promoted"] == 1

@@ -1,0 +1,66 @@
+"""Tests for ``batch_grid`` — the batch loop onto ``blockIdx.z``."""
+
+import pytest
+
+from repro.blas3 import build_routine
+from repro.epod import parse_script, translate
+from repro.ir.ast import Loop
+from repro.transforms.base import TransformError, TransformFailure
+from repro.transforms.batch import BatchGrid
+
+
+def batched_source():
+    return build_routine("BGEMM-NN")
+
+
+class TestBatchGrid:
+    def test_bp1_maps_batch_loop_to_z(self):
+        comp = BatchGrid().apply(batched_source(), ("Lp",), {}).comp
+        stage = comp.main_stage
+        outer = stage.body[0]
+        assert isinstance(outer, Loop)
+        assert outer.mapped_to == "block.z"
+        assert outer.label == "Lp"
+        assert stage.meta["batch_labels"] == ("Lp",)
+
+    def test_bp_strip_mines_serial_inner(self):
+        comp = BatchGrid().apply(batched_source(), ("Lp",), {"BP": 2}).comp
+        outer = comp.main_stage.body[0]
+        assert outer.mapped_to == "block.z"
+        assert outer.step == 2
+        inner = outer.body[0]
+        assert isinstance(inner, Loop)
+        assert inner.mapped_to is None  # serial within the z-block
+        assert inner.upper.is_constant and inner.upper.constant_value == 2
+        assert comp.main_stage.meta["batch_labels"] == (outer.label, inner.label)
+
+    def test_requires_the_outermost_loop(self):
+        with pytest.raises(TransformFailure):
+            BatchGrid().apply(batched_source(), ("Li",), {})
+
+    def test_exactly_one_label(self):
+        with pytest.raises(TransformError):
+            BatchGrid().apply(batched_source(), ("Lp", "Li"), {})
+
+    def test_composes_with_thread_grouping(self):
+        script = parse_script(
+            "batch_grid(Lp);\n(Lii, Ljj) = thread_grouping((Li, Lj));"
+        )
+        result = translate(
+            batched_source(),
+            script,
+            params={"BM": 8, "BN": 8, "TX": 4, "TY": 2},
+        )
+        mapped = set()
+
+        def walk(nodes):
+            for node in nodes:
+                if isinstance(node, Loop):
+                    if node.mapped_to:
+                        mapped.add(node.mapped_to)
+                    walk(node.body)
+
+        walk(result.comp.main_stage.body)
+        # the grid carries the batch on z and the block tiling on x/y
+        assert "block.z" in mapped
+        assert "block.x" in mapped and "block.y" in mapped
