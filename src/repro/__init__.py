@@ -44,6 +44,7 @@ from .blas3 import (
 from .baselines import cublas_gflops, cublas_kernel, magma_gflops, magma_kernel, magma_supports
 from .codegen import emit_cuda
 from .composer import Composer
+from .dag import Dag, DagNode, Expr, chain
 from .epod import EpodScript, parse_script, translate
 from .gpu import (
     FERMI_C2050,
@@ -92,7 +93,10 @@ __all__ = [
     "BlasService",
     "Composer",
     "Computation",
+    "Dag",
+    "DagNode",
     "EpodScript",
+    "Expr",
     "FERMI_C2050",
     "GEFORCE_9800",
     "GPUArch",
@@ -119,6 +123,7 @@ __all__ = [
     "as_completed",
     "build_computation",
     "build_routine",
+    "chain",
     "compile_computation",
     "cublas_gflops",
     "cublas_kernel",

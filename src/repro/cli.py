@@ -300,6 +300,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="smallest dispatch bucket; below 16 dedicated small-tile "
         "plans are tuned (default: 16)",
     )
+    p.add_argument(
+        "--fuse",
+        action="store_true",
+        help="mix GEMM->TRSM expression-DAG requests into the stream and "
+        "let the chain tuner fuse adjacent nodes where profitable",
+    )
     p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     _add_common(p)
     _add_tuning(p)
@@ -434,25 +440,41 @@ def _cmd_serve(args) -> int:
 
     # The stats footer always needs live counters, trace flag or not.
     telemetry = Telemetry()
-    serve_options = ServeOptions(
-        max_batch=args.max_batch,
-        batch_window_s=args.window_ms / 1e3,
-        devices=args.devices,
-        default_deadline_s=(
-            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
-        ),
-        shed_high_water=args.high_water,
-        pack_requests=args.pack,
-        **({"min_bucket": args.min_bucket} if args.min_bucket is not None else {}),
-    )
+    # every serve flag round-trips through the one argparse adapter
+    serve_options = ServeOptions.from_args(args)
     routines = [get_spec(r).name for r in args.routines]
     workload = {
         r: random_inputs(r, get_spec(r).make_sizes(args.n), seed=args.seed)
         for r in routines
     }
-    latencies = {r: [] for r in routines}
+    stream = list(routines)
+    chain_label = None
+    chain_dag = None
+    if args.fuse:
+        from .dag import Dag, chain
+
+        chain_label = "GEMM-NN->TRSM-LL-N"
+        chain_dag = Dag(
+            chain(
+                ("GEMM-NN", {"A": "A", "B": "B"}),
+                ("TRSM-LL-N", {"A": "L"}),
+            )
+        )
+        gemm_in = random_inputs(
+            "GEMM-NN", get_spec("GEMM-NN").make_sizes(args.n), seed=args.seed
+        )
+        trsm_in = random_inputs(
+            "TRSM-LL-N",
+            get_spec("TRSM-LL-N").make_sizes(args.n),
+            seed=args.seed + 1,
+        )
+        workload[chain_label] = {
+            "A": gemm_in["A"], "B": gemm_in["B"], "L": trsm_in["A"],
+        }
+        stream.append(chain_label)
+    latencies = {r: [] for r in stream}
     sources = {
-        r: {"tuned": 0, "fallback": 0, "shed": 0, "error": 0} for r in routines
+        r: {"tuned": 0, "fallback": 0, "shed": 0, "error": 0} for r in stream
     }
     with ShardedBlasService(
         PLATFORMS[args.arch],
@@ -463,10 +485,12 @@ def _cmd_serve(args) -> int:
     ) as service:
         pendings = []
         for i in range(args.requests):
-            routine = routines[i % len(routines)]
-            pendings.append(
-                (routine, service.submit(routine, **workload[routine]))
-            )
+            routine = stream[i % len(stream)]
+            if routine == chain_label:
+                pending = service.submit_dag(chain_dag, **workload[routine])
+            else:
+                pending = service.submit(routine, **workload[routine])
+            pendings.append((routine, pending))
         for routine, pending in pendings:
             response = pending.response()
             sources[routine][response.source] += 1
@@ -474,7 +498,7 @@ def _cmd_serve(args) -> int:
                 latencies[routine].append(response.total_s)
 
     rows = []
-    for routine in routines:
+    for routine in stream:
         lat = sorted(latencies[routine])
         p95 = quantiles(lat, n=20)[-1] if len(lat) >= 2 else lat[-1] if lat else 0.0
         rows.append(
@@ -508,6 +532,14 @@ def _cmd_serve(args) -> int:
         f"shed {counters.get('serve.shed', 0)}  "
         f"peak queue {counters.get('serve.queue.peak_depth', 0)}"
     )
+    if args.fuse:
+        print(
+            f"dag requests {counters.get('serve.dag.requests', 0)}  "
+            f"fused {counters.get('serve.dag.fused', 0)}  "
+            f"unfused {counters.get('serve.dag.unfused', 0)}  "
+            f"fusible edges {counters.get('fusion.legal_edges', 0)}  "
+            f"declined {counters.get('fusion.declined', 0)}"
+        )
     path = getattr(args, "trace_json", None)
     if path and telemetry.enabled:
         telemetry.write_json(path)

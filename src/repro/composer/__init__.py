@@ -3,22 +3,26 @@
 from .allocator import allocate, compose_modes
 from .compose import ComposeOutcome, Composer, compose_candidates
 from .filterer import FilteredCandidate, FilterReport, filter_candidates
+from .fuse import ChainEdge, StitchedChain, fuse_chain, stitch_chain
 from .generator import ComposedScript, generate
 from .mixer import interleavings, mix, satisfies_location_constraints
 from .oracle import check_equivalence, make_inputs, oracle_sizes, output_arrays
 from .splitter import split
 
 __all__ = [
+    "ChainEdge",
     "ComposeOutcome",
     "ComposedScript",
     "Composer",
     "FilterReport",
     "FilteredCandidate",
+    "StitchedChain",
     "allocate",
     "check_equivalence",
     "compose_candidates",
     "compose_modes",
     "filter_candidates",
+    "fuse_chain",
     "generate",
     "interleavings",
     "make_inputs",
@@ -27,4 +31,5 @@ __all__ = [
     "output_arrays",
     "satisfies_location_constraints",
     "split",
+    "stitch_chain",
 ]

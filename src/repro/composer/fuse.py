@@ -1,0 +1,269 @@
+"""Cross-routine composition: stitch a chain's loop nests, fuse legal edges.
+
+The composer's per-routine pipeline mixes ONE routine's loop nest with
+adaptors.  This module is its cross-routine entry point: given a linear
+:class:`repro.dag.Dag` chain, :func:`stitch_chain` places every node's
+*naive* loop nest side by side in one :class:`Computation` — arrays
+renamed to the chain's shared symbols so a producer's output and its
+consumer's operand become the same intermediate array, dimension symbols
+unified wherever a shared array forces extents to agree, loop labels
+prefixed per node so transforms can address each nest.
+
+Fusion itself is not re-implemented: :func:`fuse_chain` applies the
+existing ``loop_fusion`` transform (:class:`~repro.transforms.loop_ops.
+LoopFusion`) edge by edge, and that transform's own legality gate —
+:func:`repro.ir.dependence.fusion_legal`, the producer→consumer
+element-wise test with no interleaved writer — decides.  An edge the
+dependence analysis rejects (e.g. the intermediate consumed at a
+transposed index, or a solver reading *earlier* rows than the producer
+has written) simply stays unfused; stitching never changes semantics,
+only adjacency.
+
+The stitched (unfused or partially fused) computation is the *naive*
+sequential form: per-element operation order is preserved by legal
+fusion, so executing it — via :func:`repro.jit.execute` — is
+bit-identical to running the nodes back to back.  The tuner
+(:mod:`repro.tuner.chain`) decides *whether* a fused kernel is worth
+launching; this module only establishes what is legal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..blas3.routines import build_routine, get_spec
+from ..ir.ast import Computation, Loop, Stage
+from ..ir.rename import rename_computation
+from ..transforms.base import TransformError, TransformFailure
+from ..transforms.loop_ops import LoopFusion
+
+__all__ = ["ChainEdge", "StitchedChain", "stitch_chain", "fuse_chain"]
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: Dict[str, str] = {}
+
+    def add(self, name: str) -> None:
+        self.parent.setdefault(name, name)
+
+    def find(self, name: str) -> str:
+        self.add(name)
+        root = name
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[name] != root:  # path compression
+            self.parent[name], name = root, self.parent[name]
+        return root
+
+    def union(self, first: str, second: str) -> None:
+        a, b = self.find(first), self.find(second)
+        if a != b:
+            # keep the earlier-created name as representative: insertion
+            # order follows node order, so bounds read naturally
+            keep, drop = sorted((a, b), key=lambda n: list(self.parent).index(n))
+            self.parent[drop] = keep
+
+
+@dataclass
+class ChainEdge:
+    """A producer→consumer adjacency between consecutive chain nodes."""
+
+    producer: int
+    consumer: int
+    #: chain symbol of the intermediate array the edge carries
+    intermediate: str
+    #: spec-level array name the producer writes ("C", or "B" for TRSM)
+    producer_output: str
+    #: spec-level operand name the consumer reads the intermediate as
+    consumer_operand: str
+
+
+@dataclass
+class StitchedChain:
+    """A chain's loop nests side by side in one computation.
+
+    ``comp`` is the unfused stitched computation (single compute stage,
+    one top-level nest per node, in topological order).
+    ``outer_labels[i]`` addresses node *i*'s outermost loop;
+    ``node_dims[i]`` maps node *i*'s spec dimension symbols to the
+    chain's unified symbols; ``edges`` are the fusable adjacencies.
+    """
+
+    comp: Computation
+    outer_labels: List[str]
+    node_dims: List[Dict[str, str]] = field(default_factory=list)
+    edges: List[ChainEdge] = field(default_factory=list)
+
+    def size_env(self, node_sizes: List[Dict[str, int]]) -> Dict[str, int]:
+        """Concrete extents of the chain's unified dimension symbols."""
+        env: Dict[str, int] = {}
+        for dims, sizes in zip(self.node_dims, node_sizes):
+            for spec_sym, chain_sym in dims.items():
+                env[chain_sym] = sizes[spec_sym]
+        return env
+
+
+def stitch_chain(dag) -> StitchedChain:
+    """Stitch a linear chain's naive loop nests into one computation.
+
+    Each node's :func:`~repro.blas3.routines.build_routine` nest is
+    renamed onto the chain's symbols and appended as a sibling of its
+    predecessor's — textually adjacent, exactly the precondition
+    ``loop_fusion`` requires.  Raises ``ValueError`` for graphs whose
+    shared arrays imply inconsistent shapes.
+    """
+    comps = [build_routine(node.routine) for node in dag.nodes]
+    for i, comp in enumerate(comps):
+        if len(comp.stages) != 1 or len(comp.stages[0].body) != 1 or not isinstance(
+            comp.stages[0].body[0], Loop
+        ):
+            raise ValueError(
+                f"node {i} ({dag.nodes[i].routine}) is not a single naive "
+                "loop nest; cannot stitch"
+            )
+
+    # -- phase 1: per-node unique dim names + unification ----------------
+    dims = _UnionFind()
+    unique_dims: List[Dict[str, str]] = []
+    symbol_dims: Dict[str, Tuple[str, ...]] = {}
+    for i, (node, comp) in enumerate(zip(dag.nodes, comps)):
+        node_map = {sym: f"{sym}_n{i}" for sym in comp.dim_symbols}
+        for name in node_map.values():
+            dims.add(name)
+        unique_dims.append(node_map)
+        arrays = {array.name: array for array in get_spec(node.routine).arrays}
+        seen: Dict[str, str] = dict(node.operands)
+        seen[get_spec(node.routine).output] = node.output
+        for operand, symbol in seen.items():
+            decl = arrays.get(operand)
+            if decl is None:
+                continue
+            local = tuple(node_map[d.single_var()] for d in decl.dims)
+            prior = symbol_dims.get(symbol)
+            if prior is None:
+                symbol_dims[symbol] = local
+            else:
+                if len(prior) != len(local):
+                    raise ValueError(
+                        f"chain symbol {symbol!r} used at rank {len(prior)} "
+                        f"and {len(local)}"
+                    )
+                for a, b in zip(prior, local):
+                    dims.union(a, b)
+
+    # -- phase 2: rename each node onto the unified chain symbols --------
+    node_dims: List[Dict[str, str]] = []
+    renamed: List[Computation] = []
+    for i, (node, comp) in enumerate(zip(dag.nodes, comps)):
+        dim_map = {
+            sym: dims.find(unique) for sym, unique in unique_dims[i].items()
+        }
+        node_dims.append(dim_map)
+        spec = get_spec(node.routine)
+        array_map = dict(node.operands)
+        array_map[spec.output] = node.output
+        renamed.append(
+            rename_computation(
+                comp,
+                arrays=array_map,
+                dims=dim_map,
+                label_prefix=f"n{i}_",
+                name=f"n{i}_{comp.name}",
+            )
+        )
+
+    # -- phase 3: merge declarations and concatenate the nests -----------
+    merged_arrays = {}
+    for comp in renamed:
+        for name, array in comp.arrays.items():
+            prior = merged_arrays.get(name)
+            if prior is None:
+                merged_arrays[name] = array
+            elif tuple(prior.dims) != tuple(array.dims):
+                raise ValueError(
+                    f"chain symbol {name!r} declared with extents "
+                    f"{prior.dims} and {array.dims}"
+                )
+            # else: structural attrs (triangular/symmetric) may differ
+            # per view; the first declaration wins — stitched nests are
+            # only interpreted/jit-run, never re-specialized
+    body = []
+    outer_labels = []
+    for comp in renamed:
+        nest = comp.stages[0].body[0]
+        outer_labels.append(nest.label)
+        body.append(nest)
+    dim_symbols = []
+    for dim_map in node_dims:
+        for sym in dim_map.values():
+            if sym not in dim_symbols:
+                dim_symbols.append(sym)
+
+    stitched = Computation(
+        f"chain_{dag.fingerprint[:8]}",
+        merged_arrays,
+        [Stage(f"chain_{dag.fingerprint[:8]}_main", body, role="compute")],
+        dim_symbols=tuple(dim_symbols),
+    )
+
+    # -- edges: consecutive producer→consumer adjacencies ----------------
+    edges = []
+    for i in range(len(dag.nodes) - 1):
+        consumer = dag.nodes[i + 1]
+        for operand, source in consumer.sources.items():
+            if source == ("node", i):
+                edges.append(
+                    ChainEdge(
+                        producer=i,
+                        consumer=i + 1,
+                        intermediate=dag.nodes[i].output,
+                        producer_output=get_spec(dag.nodes[i].routine).output,
+                        consumer_operand=operand,
+                    )
+                )
+                break
+    return StitchedChain(stitched, outer_labels, node_dims, edges)
+
+
+def fuse_chain(
+    stitched: StitchedChain,
+    mask: Tuple[bool, ...],
+    sizes: Optional[Dict[str, int]] = None,
+) -> Tuple[Computation, List[bool], List[str]]:
+    """Apply ``loop_fusion`` along the chain for every edge in ``mask``.
+
+    Edges are attempted left to right; a fused consumer joins its
+    producer's merged nest, so later fusions target the group's head
+    label.  Legality is judged by the transform itself (cumulatively —
+    fusing into an already-merged nest re-checks dependences against
+    everything in it).  Returns ``(comp, applied, notes)`` where
+    ``applied[e]`` says whether edge *e* actually fused; a rejected edge
+    adds a note and leaves its nests separate.  ``mask`` longer or
+    shorter than ``stitched.edges`` raises ``ValueError``.
+    """
+    if len(mask) != len(stitched.edges):
+        raise ValueError(
+            f"mask has {len(mask)} entries for {len(stitched.edges)} edges"
+        )
+    comp = stitched.comp
+    applied = [False] * len(stitched.edges)
+    notes: List[str] = []
+    group_head = list(range(len(stitched.outer_labels)))
+    fusion = LoopFusion()
+    for e, (edge, fuse) in enumerate(zip(stitched.edges, mask)):
+        if not fuse:
+            continue
+        head = group_head[edge.producer]
+        first = stitched.outer_labels[head]
+        second = stitched.outer_labels[edge.consumer]
+        try:
+            result = fusion.apply(comp, (first, second), dict(sizes or {}))
+        except (TransformFailure, TransformError) as exc:
+            notes.append(f"edge {e} ({first}+{second}): {exc}")
+            continue
+        comp = result.comp
+        applied[e] = True
+        group_head[edge.consumer] = head
+    return comp, applied, notes

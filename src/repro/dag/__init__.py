@@ -1,0 +1,15 @@
+"""Expression-DAG IR: the unified client surface for BLAS3 requests.
+
+See :mod:`repro.dag.expr` for the model.  Downstream layers:
+
+* :mod:`repro.composer.fuse` stitches a chain's loop nests and applies
+  ``loop_fusion`` where :mod:`repro.ir.dependence` proves it legal;
+* :mod:`repro.tuner.chain` crosses per-edge fuse/no-fuse decisions into
+  the search, keeping the unfused plan as the exact fallback;
+* :meth:`repro.serve.BlasService.submit_dag` serves DAG requests keyed
+  on the canonical fingerprint.
+"""
+
+from .expr import Dag, DagNode, Expr, chain
+
+__all__ = ["Dag", "DagNode", "Expr", "chain"]

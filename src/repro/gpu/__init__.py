@@ -13,9 +13,11 @@ from .occupancy import Occupancy, occupancy
 from .simulator import RunResult, SimulatedGPU
 from .timing import (
     BatchTiming,
+    ChainTiming,
     KernelTiming,
     LaunchTiming,
     estimate_batched_time,
+    estimate_chain_time,
     estimate_kernel_time,
     estimate_time,
 )
@@ -26,6 +28,7 @@ __all__ = [
     "GPUArch",
     "GTX_285",
     "BatchTiming",
+    "ChainTiming",
     "KernelTiming",
     "LaunchTiming",
     "Occupancy",
@@ -39,6 +42,7 @@ __all__ = [
     "count_profile",
     "effective_bytes",
     "estimate_batched_time",
+    "estimate_chain_time",
     "estimate_kernel_time",
     "estimate_time",
     "occupancy",

@@ -25,7 +25,7 @@ tiled kernels carry that ILP, modeled via the per-thread work factor).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..codegen.analysis import KernelModel
 from .arch import GPUArch
@@ -36,9 +36,11 @@ __all__ = [
     "KernelTiming",
     "LaunchTiming",
     "BatchTiming",
+    "ChainTiming",
     "estimate_kernel_time",
     "estimate_time",
     "estimate_batched_time",
+    "estimate_chain_time",
 ]
 
 #: occupancy knee under which latency can no longer be hidden
@@ -194,3 +196,158 @@ def estimate_batched_time(
     ]
     fused = estimate_time(arch, fused_models).time_s
     return BatchTiming(batch=batch, serial_s=serial, fused_s=fused)
+
+
+@dataclass
+class ChainTiming:
+    """Back-to-back vs fused launch cost of a routine chain.
+
+    ``serial_s`` runs every node as its own launch sequence;
+    ``fused_s`` merges the compute kernels of each fused segment (per
+    the edge mask) into one launch whose intermediate stays on chip.
+    ``saved_bytes`` is the global intermediate traffic fusion dropped.
+    """
+
+    serial_s: float
+    fused_s: float
+    feasible: bool
+    saved_bytes: float
+    kernels: List[KernelTiming] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_s / self.fused_s if self.fused_s > 0 else 0.0
+
+
+def _merge_segment(
+    arch: GPUArch,
+    parts,  # [(KernelModel, drop_stores: set, drop_loads: set)]
+):
+    """One merged compute kernel for a fused segment.
+
+    The merged launch uses the *widest* grid/block of its parts (every
+    part's work must fit the shared schedule), pays every part's
+    register and shared-memory footprint simultaneously (producer and
+    consumer tiles coexist in one kernel — the pressure that makes
+    fusion *lose* on register-hungry configs), and concatenates the
+    parts' phases with per-block counts rescaled to the merged grid so
+    instruction/byte totals are preserved.  Accesses on the segment's
+    internal links (the producer's global stores of the intermediate,
+    the consumer's global loads of it) are dropped — that round-trip is
+    exactly what fusion eliminates.  Returns ``(model, saved_bytes)``.
+    """
+    grid = max(m.grid_blocks for m, _, _ in parts)
+    saved = 0.0
+    phases = []
+    barriers = 0.0
+    for model, drop_stores, drop_loads in parts:
+        scale = model.grid_blocks / grid
+        barriers += model.barriers_per_block * scale
+        for phase in model.phases:
+            accesses = []
+            for access in phase.accesses:
+                dropped = access.space == "global" and (
+                    (access.kind == "store" and access.array in drop_stores)
+                    or (access.kind == "load" and access.array in drop_loads)
+                )
+                if dropped:
+                    saved += effective_bytes(
+                        arch, access, access.count_per_block * model.grid_blocks
+                    )
+                    continue
+                accesses.append(
+                    replace(
+                        access,
+                        count_per_block=access.count_per_block * scale,
+                    )
+                )
+            phases.append(
+                replace(
+                    phase,
+                    flops_per_block=phase.flops_per_block * scale,
+                    insts_per_block=phase.insts_per_block * scale,
+                    accesses=accesses,
+                )
+            )
+    merged = KernelModel(
+        name="+".join(m.name for m, _, _ in parts),
+        role="compute",
+        grid_blocks=grid,
+        threads_per_block=max(m.threads_per_block for m, _, _ in parts),
+        regs_per_thread=sum(m.regs_per_thread for m, _, _ in parts),
+        smem_bytes=sum(m.smem_bytes for m, _, _ in parts),
+        barriers_per_block=barriers,
+        phases=phases,
+    )
+    return merged, saved
+
+
+def estimate_chain_time(
+    arch: GPUArch,
+    launches: Sequence[Sequence[KernelModel]],
+    links: Sequence,
+    mask: Optional[Sequence[bool]] = None,
+) -> ChainTiming:
+    """Serial vs fused launch cost for a chain of routine launches.
+
+    ``launches[i]`` is node *i*'s kernel-model sequence (remap kernels +
+    compute kernels, as :func:`repro.codegen.analysis.analyze_computation`
+    produces them); ``links[e]`` names the arrays edge *e* carries —
+    ``(producer_output_array, consumer_operand_array)`` in each node's
+    own model namespace; ``mask[e]`` says whether edge *e* fuses (default
+    all edges).  Nodes joined by fused edges form a segment: the
+    segment's compute kernels merge into ONE launch (see
+    :func:`_merge_segment`) while remap kernels stay separate; unfused
+    nodes keep their serial launch sequence.
+
+    The account captures both sides of the fusion trade: one launch
+    overhead instead of N and the intermediate's global round-trip
+    dropped (fusion wins), against the merged kernel's summed
+    register/shared-memory pressure crushing occupancy — or turning the
+    launch infeasible outright (fusion loses; the tuner keeps the
+    unfused plan).
+    """
+    n = len(launches)
+    if len(links) != n - 1:
+        raise ValueError(f"{n} launches need {n - 1} links, got {len(links)}")
+    edge_mask = tuple(mask) if mask is not None else tuple([True] * (n - 1))
+    if len(edge_mask) != n - 1:
+        raise ValueError(f"mask has {len(edge_mask)} entries for {n - 1} edges")
+
+    serial_s = sum(estimate_time(arch, models).time_s for models in launches)
+
+    segments = []
+    start = 0
+    for e, fused in enumerate(edge_mask):
+        if not fused:
+            segments.append((start, e))
+            start = e + 1
+    segments.append((start, n - 1))
+
+    kernels: List[KernelTiming] = []
+    saved_total = 0.0
+    for a, b in segments:
+        if a == b:
+            kernels.extend(estimate_time(arch, launches[a]).kernels)
+            continue
+        parts = []
+        for i in range(a, b + 1):
+            drop_stores = {links[i][0]} if i < b else set()
+            drop_loads = {links[i - 1][1]} if i > a else set()
+            for model in launches[i]:
+                if model.role == "compute":
+                    parts.append((model, drop_stores, drop_loads))
+                else:
+                    kernels.append(estimate_kernel_time(arch, model))
+        merged, saved = _merge_segment(arch, parts)
+        saved_total += saved
+        kernels.append(estimate_kernel_time(arch, merged))
+
+    fused_timing = LaunchTiming(kernels)
+    return ChainTiming(
+        serial_s=serial_s,
+        fused_s=fused_timing.time_s,
+        feasible=fused_timing.feasible,
+        saved_bytes=saved_total,
+        kernels=kernels,
+    )

@@ -56,6 +56,7 @@ from .dependence import (
 )
 from .interpret import allocate_arrays, interpret
 from .printer import print_body, print_computation, print_stage, print_stmt
+from .rename import rename_computation
 from .validate import ValidationError, validate
 
 __all__ = [
@@ -110,6 +111,8 @@ __all__ = [
     # interpret
     "allocate_arrays",
     "interpret",
+    # rename
+    "rename_computation",
     # printer
     "print_body",
     "print_computation",

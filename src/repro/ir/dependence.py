@@ -381,19 +381,25 @@ def fusion_legal(
         fused_body.append(_rename_node(child.clone(), rename))
     fused = Loop(loop_a.var, loop_a.lower, loop_a.upper, fused_body, step=loop_a.step)
 
-    seq_deps = analyze_dependences([loop_a, loop_b], sizes)
     fused_deps = analyze_dependences([fused], sizes)
     # Count statements in loop_a to split indices.
     n_a = len(_collect_statements(loop_a.body))
 
-    for dep in seq_deps:
-        if dep.src < n_a <= dep.dst or dep.dst < n_a <= dep.src:
-            # Cross-loop dependence.  In the fused nest the same statement
-            # pair must not have a ">" in the fused loop dimension.
-            for fdep in fused_deps:
-                if {fdep.src, fdep.dst} == {dep.src, dep.dst} and fdep.direction:
-                    if fdep.direction[0] == ">":
-                        return False
+    # Sequential execution runs EVERY first-loop access before any
+    # second-loop access, so in the fused nest a dependence is reversed
+    # exactly when a second-loop access comes first.  The trace-based
+    # analyzer records dependences in *execution* order, which shows the
+    # reversal in either of two shapes: a cross dependence whose source
+    # is a second-loop statement (e.g. a consumer reading rows the
+    # producer has not written yet surfaces as anti ``B→A`` carried by
+    # the fused loop), or a first-to-second dependence whose outer
+    # direction turned ">".
+    for fdep in fused_deps:
+        if fdep.src >= n_a > fdep.dst:
+            return False
+        if fdep.src < n_a <= fdep.dst and fdep.direction:
+            if fdep.direction[0] == ">":
+                return False
     return True
 
 

@@ -25,7 +25,6 @@ broadcast of A dominates.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -191,7 +190,7 @@ class MultiGPULibrary:
     def run(
         self,
         name: str,
-        inputs: Optional[Mapping[str, np.ndarray]] = None,
+        *,
         alpha: float = 1.0,
         beta: float = 1.0,
         sizes: Optional[Mapping[str, int]] = None,
@@ -203,8 +202,8 @@ class MultiGPULibrary:
 
             lib.run("GEMM-NN", A=a, B=b, C=c, alpha=2.0, beta=-0.5)
 
-        Passing a positional mapping of arrays (the pre-1.1 convention)
-        still works but emits a :class:`DeprecationWarning`.
+        The pre-1.1 positional array mapping completed its deprecation
+        cycle and now raises :class:`TypeError` (README migration note).
 
         Explicit ``sizes`` name the *logical* problem like everywhere
         else in the unified convention (:meth:`TunedRoutine.run`,
@@ -217,20 +216,6 @@ class MultiGPULibrary:
         ceil-sized panels on the first devices and the remainder on the
         last (the tuned kernel pads internally as needed).
         """
-        if inputs is not None:
-            if arrays:
-                raise TypeError(
-                    "MultiGPULibrary.run(): pass arrays either as a mapping "
-                    "or as keyword arguments, not both"
-                )
-            warnings.warn(
-                "MultiGPULibrary.run(name, {...}) with a positional array "
-                "mapping is deprecated; pass arrays as keyword arguments: "
-                "run(name, A=a, B=b, ...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            arrays = dict(inputs)
         inputs = arrays
         spec = get_spec(name)
         tuned = self.routine(name)

@@ -25,8 +25,7 @@ Typical use::
 
 from __future__ import annotations
 
-from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence
 
 from .adl.adaptor import Adaptor
 from .adl.builtin import BUILTIN_ADAPTORS
@@ -38,8 +37,7 @@ from .gpu.arch import GPUArch, GTX_285
 from .gpu.simulator import SimulatedGPU
 from .telemetry import Telemetry, ensure_telemetry
 from .tuner.library import GeneratedLibrary, LibraryGenerator, TunedRoutine
-from .tuner.options import TuningOptions, _legacy_knobs, resolve_options
-from .tuner.space import Config
+from .tuner.options import TuningOptions, resolve_options
 
 __all__ = ["OAFramework"]
 
@@ -59,25 +57,10 @@ class OAFramework:
     def __init__(
         self,
         arch: GPUArch = GTX_285,
-        tune_size: Optional[int] = None,
-        space: Optional[Sequence[Config]] = None,
-        full_space: bool = False,
-        jobs: Optional[int] = None,
-        cache_dir: Optional[Union[str, Path]] = None,
         telemetry: Optional[Telemetry] = None,
         options: Optional[TuningOptions] = None,
     ):
-        options = resolve_options(
-            options,
-            owner="OAFramework",
-            **_legacy_knobs(
-                tune_size=tune_size,
-                space=space,
-                full_space=full_space,
-                jobs=jobs,
-                cache_dir=cache_dir,
-            ),
-        )
+        options = resolve_options(options, owner="OAFramework")
         self.arch = arch
         self.options = options
         self.telemetry = ensure_telemetry(telemetry)

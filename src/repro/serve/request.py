@@ -38,6 +38,16 @@ class Request:
     deadline_s: Optional[float] = None
     #: service clock reading at submit time
     submitted_at: float = 0.0
+    #: the :class:`repro.dag.Dag` behind this request.  Single calls
+    #: carry their one-node DAG; multi-node requests additionally set
+    #: ``routine`` to ``dag.routine_key`` and ``sizes`` to
+    #: ``dag.canonical_sizes`` so dispatch keys on graph structure.
+    dag: Optional[object] = None
+
+    @property
+    def chained(self) -> bool:
+        """Whether this request is a multi-node DAG (chain) request."""
+        return self.dag is not None and len(self.dag) > 1
 
     def group_key(self) -> Tuple:
         """Coalescing key: requests agreeing on it batch into one launch.

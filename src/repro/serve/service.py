@@ -61,9 +61,11 @@ import numpy as np
 from ..baselines.cublas import cublas_kernel
 from ..blas3.reference import reference
 from ..blas3.routines import get_spec, infer_sizes
+from ..dag import Dag, Expr
 from ..gpu.arch import GPUArch, GTX_285
 from ..multigpu import MultiGPULibrary
 from ..telemetry import Telemetry, ensure_telemetry
+from ..tuner.chain import build_chain_plan, node_sizes_from_canonical
 from ..tuner.library import LibraryGenerator, TunedRoutine
 from ..tuner.options import TuningOptions
 from ..tuner.space import small_space
@@ -130,6 +132,45 @@ class ServeOptions:
     #: (answered instantly with ``source="shed"``) instead of queued.
     #: None = admit everything.
     shed_high_water: Optional[int] = None
+    #: let the chain tuner fuse adjacent DAG nodes into single kernels
+    #: where legal and modeled profitable (False: DAG requests still
+    #: dispatch as one unit, but every node launches separately)
+    fuse_dags: bool = False
+
+    @classmethod
+    def from_args(cls, args) -> "ServeOptions":
+        """One :class:`ServeOptions` from a parsed ``argparse`` namespace.
+
+        The single round-trip point for the serve CLI's flags
+        (``--max-batch --window-ms --devices --deadline-ms --high-water
+        --pack --min-bucket --fuse``); attributes missing from the
+        namespace keep their dataclass defaults, so partial namespaces
+        (tests, embedding tools) work.  ``--shards`` is intentionally
+        *not* here — shard count is the sharded tier's constructor
+        argument, not a per-service knob.
+        """
+        defaults = cls()
+        window_ms = getattr(args, "window_ms", None)
+        deadline_ms = getattr(args, "deadline_ms", None)
+        min_bucket = getattr(args, "min_bucket", None)
+        return cls(
+            max_batch=getattr(args, "max_batch", defaults.max_batch),
+            batch_window_s=(
+                window_ms / 1e3
+                if window_ms is not None
+                else defaults.batch_window_s
+            ),
+            devices=getattr(args, "devices", defaults.devices),
+            default_deadline_s=(
+                deadline_ms / 1e3 if deadline_ms is not None else None
+            ),
+            pack_requests=bool(getattr(args, "pack", defaults.pack_requests)),
+            min_bucket=(
+                min_bucket if min_bucket is not None else defaults.min_bucket
+            ),
+            shed_high_water=getattr(args, "high_water", None),
+            fuse_dags=bool(getattr(args, "fuse", defaults.fuse_dags)),
+        )
 
 
 class BlasService:
@@ -224,6 +265,15 @@ class BlasService:
         spec = get_spec(routine)  # canonicalises + validates the name
         if deadline_s is None:
             deadline_s = self.options.default_deadline_s
+        bound = [array.name for array in spec.arrays if array.name in arrays]
+        try:
+            # single calls are one-node DAGs internally: the legacy
+            # surface and the graph surface are the same machinery
+            dag = Dag.single(spec.name, alpha=alpha, beta=beta, operands=bound)
+        except ValueError:
+            # under-bound call: still queued, answered at serve time
+            # with source="error" exactly as before the DAG surface
+            dag = None
         request = Request(
             id=next(self._ids),
             routine=spec.name,
@@ -233,7 +283,75 @@ class BlasService:
             sizes=dict(sizes) if sizes is not None else None,
             deadline_s=deadline_s,
             submitted_at=self.clock(),
+            dag=dag,
         )
+        return self._enqueue(request)
+
+    def submit_dag(
+        self,
+        dag: "Dag | Expr",
+        *,
+        deadline_s: Optional[float] = None,
+        **arrays: np.ndarray,
+    ) -> PendingResult:
+        """Enqueue one expression-DAG request (keyword arrays bind the
+        DAG's named inputs).
+
+        A one-node DAG delegates to :meth:`submit` — same plan table,
+        same counters, bit-identical result.  Multi-node DAGs dispatch
+        as ONE unit keyed on the graph's canonical fingerprint
+        (:attr:`repro.dag.Dag.routine_key`), so identical DAG shapes
+        share a plan and micro-batch together; the resolved
+        :class:`~repro.tuner.chain.ChainPlan` fuses adjacent nodes when
+        ``ServeOptions.fuse_dags`` is set and the tuner finds fusion
+        both legal and modeled profitable.
+
+        Counters: ``serve.dag.requests`` / ``serve.dag.nodes`` /
+        ``serve.dag.single``.
+        """
+        dag = dag if isinstance(dag, Dag) else Dag(dag)
+        if len(dag) == 1:
+            node = dag.nodes[0]
+            self.telemetry.incr("serve.dag.single")
+            return self.submit(
+                node.routine,
+                alpha=node.alpha,
+                beta=node.beta,
+                deadline_s=deadline_s,
+                **{op: arrays[sym] for op, sym in node.operands.items()},
+            )
+        if deadline_s is None:
+            deadline_s = self.options.default_deadline_s
+        values = {k: np.asarray(v) for k, v in arrays.items()}
+        request = Request(
+            id=next(self._ids),
+            routine=dag.routine_key,
+            arrays=values,
+            sizes=dag.canonical_sizes(values),
+            deadline_s=deadline_s,
+            submitted_at=self.clock(),
+            dag=dag,
+        )
+        self.telemetry.incr("serve.dag.requests")
+        self.telemetry.incr("serve.dag.nodes", len(dag))
+        return self._enqueue(request)
+
+    def run_dag(
+        self,
+        dag: "Dag | Expr",
+        *,
+        deadline_s: Optional[float] = None,
+        **arrays: np.ndarray,
+    ) -> np.ndarray:
+        """Submit one DAG request and block for its result array."""
+        pending = self.submit_dag(dag, deadline_s=deadline_s, **arrays)
+        if self._thread is None:
+            self.flush()
+        return pending.output()
+
+    def _enqueue(self, request: Request) -> PendingResult:
+        """Register + queue one built request (shared by every submit
+        surface)."""
         pending = PendingResult(request.id, telemetry=self.telemetry)
         self.telemetry.incr("serve.requests")
         with self._lock:
@@ -342,6 +460,10 @@ class BlasService:
         records = []
         for plan in self.table.plans():
             if plan.predicted:
+                continue
+            if plan.routine.startswith("dag:"):
+                # chain plans hold a ChainPlan, not a TunedRoutine — no
+                # snapshot format yet; re-tuned from per-node caches
                 continue
             records.append(
                 {
@@ -493,6 +615,8 @@ class BlasService:
     def _resolve_plan(self, request: Request) -> Tuple[Optional[Plan], Optional[str]]:
         """Plan for a request, or ``(None, reason)`` when only the
         baseline can answer within the deadline."""
+        if request.chained:
+            return self._resolve_chain_plan(request)
         sizes = self._sizes_for(request)
         bucket = self._bucket(sizes)
         key: PlanKey = (request.routine, self.arch.name, bucket)
@@ -520,6 +644,45 @@ class BlasService:
             tuned = generator.generate(request.routine)
         self.telemetry.incr("serve.tuned")
         plan = Plan(key, tuned)
+        self.table.insert(plan)
+        return plan, None
+
+    def _resolve_chain_plan(
+        self, request: Request
+    ) -> Tuple[Optional[Plan], Optional[str]]:
+        """Chain plan for a multi-node DAG request.
+
+        Keyed exactly like single-call plans — ``(dag:<fingerprint>,
+        arch, bucket)`` — so identical DAG shapes share one resolved
+        :class:`~repro.tuner.chain.ChainPlan` and hit the hot table.
+        Deadline-bound requests only tune when every node's per-routine
+        plan is reconstructable from the on-disk cache (the fusion
+        search itself is cheap; cold per-node searches are not).
+        """
+        sizes = self._sizes_for(request)
+        bucket = self._bucket(sizes)
+        key: PlanKey = (request.routine, self.arch.name, bucket)
+        plan = self.table.lookup(key)
+        if plan is not None:
+            return plan, None
+        dag = request.dag
+        generator = self._generator_for(bucket)
+        if request.deadline_s is not None and not all(
+            generator.has_cached(node.routine) for node in dag.nodes
+        ):
+            return None, "no-plan"
+        with self.telemetry.span(
+            "serve.tune_chain", routine=request.routine, bucket=bucket
+        ):
+            chain_plan = build_chain_plan(
+                dag,
+                generator,
+                node_sizes=node_sizes_from_canonical(dag, sizes),
+                fuse=self.options.fuse_dags,
+                telemetry=self.telemetry,
+            )
+        self.telemetry.incr("serve.dag.tuned")
+        plan = Plan(key, chain_plan)
         self.table.insert(plan)
         return plan, None
 
@@ -631,7 +794,9 @@ class BlasService:
         resolved_at = self.clock()
         launch.tags["source"] = "fallback" if plan is None else "tuned"
         backend = None
-        if plan is not None:
+        if plan is not None and not first.chained:
+            # chain plans execute whole DAGs themselves; the multi-GPU
+            # backend only understands single-routine calls
             backend = self._backend_for(plan.bucket)
         for request in batch:
             self._serve_one(
@@ -803,6 +968,12 @@ class BlasService:
         plan: Plan,
         backend: Optional[MultiGPULibrary],
     ) -> np.ndarray:
+        if request.chained:
+            output = plan.tuned.execute(request.dag, request.arrays)
+            self.telemetry.incr(
+                "serve.dag.fused" if plan.tuned.fused else "serve.dag.unfused"
+            )
+            return np.asarray(output, dtype=np.float32)
         if backend is not None:
             return backend.run(
                 request.routine,
@@ -821,6 +992,14 @@ class BlasService:
     def _run_fallback(self, request: Request) -> np.ndarray:
         """Baseline answer: CUBLAS 3.2 behavioural kernel for the modeled
         cost, reference semantics for the functional result."""
+        if request.chained:
+            # chained baseline: every node through the NumPy reference,
+            # back to back — the semantic contract fused plans match
+            with self.telemetry.span(
+                "serve.fallback", routine=request.routine
+            ):
+                out = request.dag.reference(request.arrays)
+                return np.asarray(out, dtype=np.float32)
         with self.telemetry.span(
             "serve.fallback", routine=request.routine
         ) as span:

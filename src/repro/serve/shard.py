@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Mapping, Optional
 import numpy as np
 
 from ..blas3.routines import get_spec, infer_sizes
+from ..dag import Dag, Expr
 from ..gpu.arch import GPUArch, GTX_285
 from ..telemetry import Telemetry, ensure_telemetry
 from ..tuner.options import TuningOptions
@@ -205,6 +206,57 @@ class ShardedBlasService:
             deadline_s=deadline_s,
             **arrays,
         )
+
+    def submit_dag(
+        self,
+        dag: "Dag | Expr",
+        *,
+        deadline_s: Optional[float] = None,
+        **arrays: np.ndarray,
+    ) -> PendingResult:
+        """Route one DAG request to its owner shard (or shed it).
+
+        Multi-node DAGs route by ``(dag.routine_key, size-bucket)`` —
+        the same consistent-hash key discipline as single calls, so all
+        traffic for one DAG shape lands on one shard and its chain plan
+        is tuned exactly once.  One-node DAGs delegate to
+        :meth:`submit` and route like the plain call they are.
+        """
+        dag = dag if isinstance(dag, Dag) else Dag(dag)
+        if len(dag) == 1:
+            node = dag.nodes[0]
+            return self.submit(
+                node.routine,
+                alpha=node.alpha,
+                beta=node.beta,
+                deadline_s=deadline_s,
+                **{op: arrays[sym] for op, sym in node.operands.items()},
+            )
+        sizes = dag.canonical_sizes(
+            {k: np.asarray(v) for k, v in arrays.items()}
+        )
+        bucket = size_bucket(sizes)
+        shard = self.router.route(dag.routine_key, bucket)
+        self.telemetry.incr("serve.shard.routed")
+        self.telemetry.incr(f"serve.shard.{shard}.routed")
+        worker = self.workers[shard]
+        depth = worker.queue_depth()
+        if not self.admission.admit(shard, depth):
+            return self._shed(dag.routine_key, shard, depth)
+        return worker.submit_dag(dag, deadline_s=deadline_s, **arrays)
+
+    def run_dag(
+        self,
+        dag: "Dag | Expr",
+        *,
+        deadline_s: Optional[float] = None,
+        **arrays: np.ndarray,
+    ) -> np.ndarray:
+        """Submit one DAG request and block for its result array."""
+        pending = self.submit_dag(dag, deadline_s=deadline_s, **arrays)
+        if not pending.done():
+            self.flush()
+        return pending.output()
 
     def _shed(self, routine: str, shard: int, depth: int) -> PendingResult:
         """Instant rejection: a pre-fulfilled future, never enqueued."""

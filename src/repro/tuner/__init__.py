@@ -2,6 +2,7 @@
 persistent result caching."""
 
 from .cache import TuningCache, arch_fingerprint, space_fingerprint
+from .chain import ChainPlan, ChainSegment, build_chain_plan, node_sizes_from_canonical
 from .library import GeneratedLibrary, LibraryGenerator, TunedRoutine
 from .options import TuningOptions, resolve_options
 from .persist import FORMAT_VERSION, load_library, save_library
@@ -9,6 +10,7 @@ from .predictor import RankingModel, TrainingReport, score_docs, train_model
 from .search import (
     CURATED_SPACE,
     CandidateScore,
+    ChainSearchResult,
     SearchResult,
     VariantSearch,
     rank_key,
@@ -19,6 +21,9 @@ from .space import Config, DEFAULT_SPACE, default_space, prune_space
 __all__ = [
     "CURATED_SPACE",
     "CandidateScore",
+    "ChainPlan",
+    "ChainSearchResult",
+    "ChainSegment",
     "Config",
     "DEFAULT_SPACE",
     "FORMAT_VERSION",
@@ -33,10 +38,12 @@ __all__ = [
     "VariantSearch",
     "resolve_options",
     "arch_fingerprint",
+    "build_chain_plan",
     "load_library",
     "save_library",
     "default_space",
     "prune_space",
+    "node_sizes_from_canonical",
     "rank_key",
     "resolve_jobs",
     "score_docs",

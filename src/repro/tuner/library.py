@@ -12,10 +12,8 @@ and can emit their CUDA source.
 from __future__ import annotations
 
 import hashlib
-import warnings
 from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -38,7 +36,7 @@ from ..gpu.arch import GPUArch
 from ..gpu.simulator import RunResult, SimulatedGPU
 from ..ir.ast import Computation
 from ..telemetry import Telemetry, ensure_telemetry
-from .options import TuningOptions, _legacy_knobs, resolve_options
+from .options import TuningOptions, resolve_options
 from .search import CandidateScore, SearchResult, VariantSearch, rank_key
 from .space import Config
 
@@ -106,7 +104,7 @@ class TunedRoutine:
 
     def run(
         self,
-        inputs: Optional[Mapping[str, np.ndarray]] = None,
+        *,
         sizes: Optional[Mapping[str, int]] = None,
         alpha: float = 1.0,
         beta: float = 1.0,
@@ -121,23 +119,10 @@ class TunedRoutine:
 
             tuned.run(A=a, B=b, C=c, alpha=2.0, beta=0.5)
 
-        Passing a positional mapping of arrays (the pre-1.1 convention)
-        still works but emits a :class:`DeprecationWarning`.
+        The pre-1.1 positional array mapping completed its deprecation
+        cycle and now raises :class:`TypeError` (see the README's
+        migration note).
         """
-        if inputs is not None:
-            if arrays:
-                raise TypeError(
-                    f"{self.name}.run(): pass arrays either as a mapping or "
-                    "as keyword arguments, not both"
-                )
-            warnings.warn(
-                f"{self.name}.run({{...}}) with a positional array mapping is "
-                "deprecated; pass arrays as keyword arguments: "
-                "run(A=a, B=b, ...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            arrays = dict(inputs)
         return self._execute(arrays, sizes=sizes, alpha=alpha, beta=beta)
 
     def _execute(
@@ -276,31 +261,16 @@ class LibraryGenerator:
     def __init__(
         self,
         arch: GPUArch,
-        tune_size: Optional[int] = None,
-        space: Optional[Sequence[Config]] = None,
-        full_space: bool = False,
         # Tiles per partitioned dimension in the verification sweep.  The
         # compiled execution path (repro.jit) made verify cheap enough to
         # afford 3 tiles by default — covering interior/edge/interior
         # block interactions the old 2-tile sweep could not see.
         verify_size: int = 3,
         check_candidates: bool = False,
-        jobs: Optional[int] = None,
-        cache_dir: Optional[Union[str, Path]] = None,
         telemetry: Optional[Telemetry] = None,
         options: Optional[TuningOptions] = None,
     ):
-        options = resolve_options(
-            options,
-            owner="LibraryGenerator",
-            **_legacy_knobs(
-                tune_size=tune_size,
-                space=space,
-                full_space=full_space,
-                jobs=jobs,
-                cache_dir=cache_dir,
-            ),
-        )
+        options = resolve_options(options, owner="LibraryGenerator")
         self.arch = arch
         self.options = options
         self.tune_size = options.tune_size

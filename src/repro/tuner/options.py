@@ -14,16 +14,15 @@ value::
     opts = TuningOptions(tune_size=1024, jobs=4, cache_dir="~/.repro")
     oa = OAFramework(GTX_285, options=opts)
 
-The legacy keyword arguments still work on every layer through
-:func:`resolve_options`, which folds them into a ``TuningOptions`` and
-emits a :class:`DeprecationWarning`; passing *both* ``options=`` and a
-legacy knob is an error (there is no sensible merge order).
+The per-knob legacy keyword arguments (``LibraryGenerator(tune_size=...)``
+and friends, deprecated in 1.1) completed their cycle and are gone:
+``options=TuningOptions(...)`` is the only spelling.  See the README's
+migration note.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Tuple, Union
@@ -31,20 +30,6 @@ from typing import Optional, Tuple, Union
 from .space import Config
 
 __all__ = ["TuningOptions", "resolve_options"]
-
-
-def _legacy_knobs(**knobs) -> dict:
-    """Drop knobs left at their "unset" defaults (``None`` / ``False``).
-
-    The legacy keyword signatures cannot distinguish ``space=None`` from
-    "not passed", but ``None``/``False`` mean "use the default" in both
-    styles, so filtering them is lossless.
-    """
-    return {
-        name: value
-        for name, value in knobs.items()
-        if value is not None and value is not False
-    }
 
 
 @dataclass(frozen=True)
@@ -79,58 +64,17 @@ class TuningOptions:
         return dataclasses.replace(self, **changes)
 
 
-#: Sentinel distinguishing "not passed" from an explicit ``None``.
-_UNSET = object()
-
-
 def resolve_options(
-    options: Optional[TuningOptions],
-    *,
-    owner: str,
-    stacklevel: int = 3,
-    tune_size=_UNSET,
-    space=_UNSET,
-    full_space=_UNSET,
-    jobs=_UNSET,
-    cache_dir=_UNSET,
+    options: Optional[TuningOptions], *, owner: str
 ) -> TuningOptions:
-    """Fold legacy per-knob keyword arguments into a :class:`TuningOptions`.
-
-    * ``options`` given, no legacy knobs → returned unchanged.
-    * legacy knobs only → packed into a fresh ``TuningOptions`` with a
-      :class:`DeprecationWarning` naming the owning class.
-    * both → :class:`TypeError`; the caller must pick one style.
-    """
-    legacy = {
-        name: value
-        for name, value in (
-            ("tune_size", tune_size),
-            ("space", space),
-            ("full_space", full_space),
-            ("jobs", jobs),
-            ("cache_dir", cache_dir),
+    """Normalise an ``options=`` argument: ``None`` → defaults, anything
+    that is not a :class:`TuningOptions` → :class:`TypeError` naming the
+    owning class."""
+    if options is None:
+        return TuningOptions()
+    if not isinstance(options, TuningOptions):
+        raise TypeError(
+            f"{owner}: options= must be a TuningOptions, "
+            f"got {type(options).__name__}"
         )
-        if value is not _UNSET
-    }
-    if options is not None:
-        if not isinstance(options, TuningOptions):
-            raise TypeError(
-                f"{owner}: options= must be a TuningOptions, "
-                f"got {type(options).__name__}"
-            )
-        if legacy:
-            raise TypeError(
-                f"{owner}: pass tuning knobs either via options= or as "
-                f"keyword arguments, not both (got options= and "
-                f"{', '.join(sorted(legacy))})"
-            )
-        return options
-    if legacy:
-        warnings.warn(
-            f"{owner}({', '.join(sorted(legacy))}=...) is deprecated; "
-            f"pass options=TuningOptions(...) instead",
-            DeprecationWarning,
-            stacklevel=stacklevel,
-        )
-        return TuningOptions(**legacy)
-    return TuningOptions()
+    return options

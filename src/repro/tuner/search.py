@@ -30,6 +30,7 @@ predicted pick fails.  Counters: ``predictor.rank``,
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
@@ -41,14 +42,16 @@ from ..composer.generator import ComposedScript
 from ..epod.translator import EpodTranslator
 from ..gpu.arch import GPUArch
 from ..gpu.simulator import RunResult, SimulatedGPU
+from ..gpu.timing import ChainTiming, estimate_chain_time
 from ..ir.ast import Computation
 from ..telemetry import Metrics, Telemetry, ensure_telemetry
-from .options import TuningOptions, _legacy_knobs, resolve_options
+from .options import TuningOptions, resolve_options
 from .space import Config, DEFAULT_SPACE, prune_space
 
 __all__ = [
     "SearchResult",
     "CandidateScore",
+    "ChainSearchResult",
     "VariantSearch",
     "CURATED_SPACE",
     "rank_key",
@@ -125,6 +128,26 @@ class SearchResult:
     def top(self, n: int = 5) -> List[CandidateScore]:
         """Best ``n`` scores in deterministic order (see :func:`rank_key`)."""
         return sorted((s for s in self.scores if s.ok), key=rank_key)[:n]
+
+
+@dataclass
+class ChainSearchResult:
+    """The fusion-mask sweep of one DAG chain (see :meth:`search_chain`).
+
+    ``mask`` is the winning fuse/no-fuse verdict per stitched edge,
+    ``timing`` its chain-timing account, ``unfused`` the exact
+    no-fusion baseline (always evaluated, wins ties)."""
+
+    mask: Tuple[bool, ...]
+    timing: ChainTiming
+    unfused: ChainTiming
+    evaluated: List[Tuple[Tuple[bool, ...], ChainTiming]] = field(
+        default_factory=list
+    )
+
+    @property
+    def fused(self) -> bool:
+        return any(self.mask)
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -258,21 +281,11 @@ class VariantSearch:
     def __init__(
         self,
         arch: GPUArch,
-        tune_size: Optional[int] = None,
-        space: Optional[Sequence[Config]] = None,
-        full_space: bool = False,
-        jobs: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
         options: Optional[TuningOptions] = None,
         predictor=None,
     ):
-        options = resolve_options(
-            options,
-            owner="VariantSearch",
-            **_legacy_knobs(
-                tune_size=tune_size, space=space, full_space=full_space, jobs=jobs
-            ),
-        )
+        options = resolve_options(options, owner="VariantSearch")
         self.arch = arch
         self.options = options
         self.tune_size = options.tune_size
@@ -547,3 +560,69 @@ class VariantSearch:
         nominal: float,
     ) -> CandidateScore:
         return _evaluate_unit(self.gpu, source, candidate, config, sizes, nominal)
+
+    #: at most 2^8 fusion masks per chain — chains are short; edges past
+    #: the cap stay unfused (counted as ``search.chain_edges_capped``)
+    CHAIN_MASK_EDGES = 8
+
+    def search_chain(
+        self,
+        launches: Sequence[Sequence],
+        edges: Sequence,
+        eligible: Sequence[bool],
+    ) -> ChainSearchResult:
+        """Cross fuse/no-fuse per eligible chain edge, scored analytically.
+
+        ``launches[i]`` carries node *i*'s kernel models (from
+        :meth:`repro.gpu.simulator.SimulatedGPU.profile`), ``edges`` the
+        stitched chain's :class:`~repro.composer.fuse.ChainEdge` list and
+        ``eligible`` which of them may fuse.  Every mask over the
+        eligible edges is scored with
+        :func:`~repro.gpu.timing.estimate_chain_time`; the all-False
+        mask is the exact unfused fallback and wins whenever no fused
+        mask is feasible *and strictly faster* — fusing is an
+        optimisation, never a semantic change, so ties keep the plan
+        that needs no stitched execution path.
+        """
+        n = len(launches)
+        position = {edge.producer: e for e, edge in enumerate(edges)}
+        links = []
+        for p in range(n - 1):
+            e = position.get(p)
+            links.append(
+                (edges[e].producer_output, edges[e].consumer_operand)
+                if e is not None
+                else ("", "")
+            )
+        free = [e for e, ok in enumerate(eligible) if ok]
+        if len(free) > self.CHAIN_MASK_EDGES:
+            self.telemetry.incr(
+                "search.chain_edges_capped", len(free) - self.CHAIN_MASK_EDGES
+            )
+            free = free[: self.CHAIN_MASK_EDGES]
+
+        evaluated: List[Tuple[Tuple[bool, ...], ChainTiming]] = []
+        unfused: Optional[ChainTiming] = None
+        best: Optional[Tuple[Tuple[bool, ...], ChainTiming]] = None
+        for bits in itertools.product((False, True), repeat=len(free)):
+            mask = [False] * len(edges)
+            for e, bit in zip(free, bits):
+                mask[e] = bit
+            mask = tuple(mask)
+            full = tuple(
+                mask[position[p]] if p in position else False
+                for p in range(n - 1)
+            )
+            timing = estimate_chain_time(self.arch, launches, links, full)
+            evaluated.append((mask, timing))
+            if not any(mask):
+                unfused = timing
+            if timing.feasible and (best is None or timing.fused_s < best[1].fused_s):
+                best = (mask, timing)
+        assert unfused is not None  # the all-False mask is always swept
+        self.telemetry.incr("search.chain_masks", len(evaluated))
+        if best is None or (any(best[0]) and best[1].fused_s >= unfused.fused_s):
+            best = (tuple([False] * len(edges)), unfused)
+        return ChainSearchResult(
+            mask=best[0], timing=best[1], unfused=unfused, evaluated=evaluated
+        )

@@ -1,0 +1,125 @@
+"""Tests for cross-routine stitching and edge fusion
+(:mod:`repro.composer.fuse`).
+
+Legality is the dependence analysis's call, not a routine whitelist:
+``GEMM→TRSM-LL-N`` fuses (the solver consumes finished rows), while
+``GEMM→TRMM-LL-T`` must not (the transposed read consumes rows the
+producer has not written yet).  Legal fusion preserves per-element
+operation order, so the fused computation is bit-identical to the
+stitched unfused one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.composer.fuse import fuse_chain, stitch_chain
+from repro.dag import Dag, chain
+from repro.jit import execute as jit_execute
+
+N = 8
+
+
+def make_dag(second=("TRSM-LL-N", {"A": "L"})):
+    return Dag(chain(("GEMM-NN", {"A": "A", "B": "B"}), second))
+
+
+def make_inputs(seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((N, N)).astype(np.float32)
+    b = rng.standard_normal((N, N)).astype(np.float32)
+    low = (
+        np.tril(rng.standard_normal((N, N))) + N * np.eye(N)
+    ).astype(np.float32)
+    return {"A": a, "B": b, "L": low}
+
+
+def run_stitched(comp, env, arrays, output):
+    inputs = {}
+    for name in comp.arrays:
+        if name in arrays:
+            inputs[name] = np.array(arrays[name], np.float32)
+        else:  # chain intermediates start zeroed (accumulators)
+            inputs[name] = np.zeros((N, N), np.float32)
+    out = jit_execute(comp, env, inputs)
+    return out[output]
+
+
+class TestStitch:
+    def test_chain_structure(self):
+        stitched = stitch_chain(make_dag())
+        assert len(stitched.outer_labels) == 2
+        assert len(stitched.edges) == 1
+        edge = stitched.edges[0]
+        assert (edge.producer, edge.consumer) == (0, 1)
+        assert edge.intermediate == "_t0"
+        assert edge.producer_output == "C"
+        assert edge.consumer_operand == "B"
+        assert {"A", "B", "L", "_t0"} <= set(stitched.comp.arrays)
+
+    def test_mask_length_validated(self):
+        stitched = stitch_chain(make_dag())
+        with pytest.raises(ValueError, match="mask"):
+            fuse_chain(stitched, (True, False))
+
+
+class TestLegality:
+    def test_gemm_trsm_fuses(self):
+        dag = make_dag()
+        stitched = stitch_chain(dag)
+        env = stitched.size_env(
+            dag.node_sizes({"A": (N, N), "B": (N, N), "L": (N, N)})
+        )
+        _comp, applied, notes = fuse_chain(stitched, (True,), sizes=env)
+        assert applied == [True]
+        assert notes == []
+
+    def test_transposed_consumer_rejected(self):
+        # TRMM-LL-T reads the intermediate through A^T: row i of the
+        # product needs rows >= i of the intermediate — rows a fused
+        # producer has not written yet.  The dependence gate must say no.
+        dag = make_dag(("TRMM-LL-T", {"A": "L"}))
+        stitched = stitch_chain(dag)
+        env = stitched.size_env(
+            dag.node_sizes({"A": (N, N), "B": (N, N), "L": (N, N)})
+        )
+        _comp, applied, notes = fuse_chain(stitched, (True,), sizes=env)
+        assert applied == [False]
+        assert len(notes) == 1
+
+    def test_false_mask_fuses_nothing(self):
+        dag = make_dag()
+        stitched = stitch_chain(dag)
+        comp, applied, notes = fuse_chain(stitched, (False,))
+        assert applied == [False]
+        assert comp is stitched.comp
+
+
+class TestSemantics:
+    def test_fused_bit_identical_to_unfused(self):
+        dag = make_dag()
+        arrays = make_inputs()
+        stitched = stitch_chain(dag)
+        env = stitched.size_env(
+            dag.node_sizes({k: v.shape for k, v in arrays.items()})
+        )
+        fused_comp, applied, _notes = fuse_chain(stitched, (True,), sizes=env)
+        assert applied == [True]
+        unfused = run_stitched(stitched.comp, env, arrays, dag.output)
+        fused = run_stitched(fused_comp, env, arrays, dag.output)
+        assert np.array_equal(fused, unfused)
+        reference = dag.reference(arrays)
+        np.testing.assert_allclose(fused, reference, rtol=1e-4, atol=1e-4)
+
+    def test_rejected_edge_still_correct(self):
+        dag = make_dag(("TRMM-LL-T", {"A": "L"}))
+        arrays = make_inputs(seed=3)
+        stitched = stitch_chain(dag)
+        env = stitched.size_env(
+            dag.node_sizes({k: v.shape for k, v in arrays.items()})
+        )
+        comp, applied, _notes = fuse_chain(stitched, (True,), sizes=env)
+        assert applied == [False]
+        out = run_stitched(comp, env, arrays, dag.output)
+        np.testing.assert_allclose(
+            out, dag.reference(arrays), rtol=1e-4, atol=1e-4
+        )

@@ -188,6 +188,31 @@ class TestServeCli:
         # window: 2 admitted, the rest rejected at the door
         assert "shed 6" in out
 
+    def test_serve_fuse_mixes_dag_requests(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--routines",
+                    "GEMM-NN",
+                    "--requests",
+                    "4",
+                    "-n",
+                    "32",
+                    "--fuse",
+                    "--jobs",
+                    "1",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "GEMM-NN->TRSM-LL-N" in out
+        assert "dag requests 2" in out
+        assert "fusible edges" in out
+
     def test_serve_writes_trace_json(self, capsys, tmp_path):
         trace = tmp_path / "serve-trace.json"
         assert (

@@ -1,12 +1,16 @@
 """Tests for the unified public-API surface.
 
 The facade contract: ``repro.__all__`` is the public API, it matches what
-the package actually exposes, and the options objects accept both the new
-``options=`` style and the deprecated legacy kwargs.
+the package actually exposes, ``options=TuningOptions(...)`` is the one
+way to configure the tuning stack (the pre-1.1 per-knob kwargs finished
+their deprecation cycle and now raise ``TypeError``), and the
+expression-DAG surface (``Expr``/``Dag``/``chain``) is exported at the
+top level.
 """
 
 import warnings
 
+import numpy as np
 import pytest
 
 import repro
@@ -64,20 +68,20 @@ class TestTuningOptions:
         assert generator.options.space == SMALL_SPACE
         assert oa.generator.options.tune_size == 256
 
-    def test_legacy_kwargs_warn_but_work(self):
-        with pytest.deprecated_call(match="VariantSearch"):
-            search = VariantSearch(GTX_285, tune_size=256, space=SMALL_SPACE)
-        assert search.options.tune_size == 256
-
-        with pytest.deprecated_call(match="OAFramework"):
-            oa = OAFramework(GTX_285, tune_size=128)
-        assert oa.generator.options.tune_size == 128
-
-    def test_options_plus_legacy_is_an_error(self):
+    def test_legacy_kwargs_are_gone(self):
+        # the 1.1 deprecation cycle is complete: per-knob kwargs raise
         with pytest.raises(TypeError):
-            VariantSearch(GTX_285, options=TuningOptions(), tune_size=256)
+            VariantSearch(GTX_285, tune_size=256, space=SMALL_SPACE)
         with pytest.raises(TypeError):
-            OAFramework(GTX_285, options=TuningOptions(), space=SMALL_SPACE)
+            OAFramework(GTX_285, tune_size=128)
+        with pytest.raises(TypeError):
+            LibraryGenerator(GTX_285, cache_dir="/tmp/nope")
+
+    def test_options_must_be_tuning_options(self):
+        with pytest.raises(TypeError, match="VariantSearch"):
+            VariantSearch(GTX_285, options={"tune_size": 256})
+        with pytest.raises(TypeError, match="LibraryGenerator"):
+            LibraryGenerator(GTX_285, options=(1, 2))
 
     def test_resolve_defaults(self):
         options = resolve_options(None, owner="test")
@@ -88,3 +92,40 @@ class TestTuningOptions:
     def test_space_normalised_to_tuple(self):
         options = TuningOptions(space=[{"BM": 16}])
         assert isinstance(options.space, tuple)
+
+
+class TestDagSurface:
+    def test_dag_names_are_public(self):
+        for name in ("Dag", "DagNode", "Expr", "chain"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_chain_builds_a_dag(self):
+        dag = repro.Dag(
+            repro.chain(
+                ("GEMM-NN", {"A": "A", "B": "B"}),
+                ("TRSM-LL-N", {"A": "L"}),
+            )
+        )
+        assert len(dag) == 2
+        assert dag.routine_key.startswith("dag:")
+        assert dag.inputs == ["A", "B", "L"]
+
+    def test_fingerprint_hashes_structure_not_names(self):
+        x = repro.Dag(repro.Expr.call("GEMM-NN", A="P", B="Q", C="R"))
+        y = repro.Dag(repro.Expr.call("GEMM-NN", A="A", B="B", C="C"))
+        assert x.fingerprint == y.fingerprint
+        z = repro.Dag(
+            repro.Expr.call("GEMM-NN", A="A", B="B", C="C", beta=0.5)
+        )
+        assert z.fingerprint != y.fingerprint
+
+    def test_one_node_dag_reference_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        dag = repro.Dag.single("GEMM-NN", beta=0.0, operands=["A", "B"])
+        out = dag.reference({"A": a, "B": b})
+        np.testing.assert_allclose(
+            out, a.astype(np.float64) @ b.astype(np.float64), rtol=1e-6
+        )
