@@ -45,6 +45,7 @@ from .baselines import cublas_gflops, cublas_kernel, magma_gflops, magma_kernel,
 from .codegen import emit_cuda
 from .composer import Composer
 from .dag import Dag, DagNode, Expr, chain
+from .dist import DistLibrary, DistPlan, Topology, multi_node, single_node
 from .epod import EpodScript, parse_script, translate
 from .gpu import (
     FERMI_C2050,
@@ -55,6 +56,7 @@ from .gpu import (
     SimulatedGPU,
     occupancy,
 )
+from .gpu.timing import DistTiming
 from .ir import Array, Computation, build_computation, interpret, validate, var
 from .jit import compile_computation, execute as jit_execute
 from .multigpu import MultiGPULibrary, MultiGPUTiming
@@ -95,6 +97,9 @@ __all__ = [
     "Computation",
     "Dag",
     "DagNode",
+    "DistLibrary",
+    "DistPlan",
+    "DistTiming",
     "EpodScript",
     "Expr",
     "FERMI_C2050",
@@ -116,6 +121,7 @@ __all__ = [
     "SimulatedGPU",
     "Span",
     "Telemetry",
+    "Topology",
     "Tracer",
     "TunedRoutine",
     "TuningOptions",
@@ -134,6 +140,7 @@ __all__ = [
     "magma_gflops",
     "magma_kernel",
     "magma_supports",
+    "multi_node",
     "occupancy",
     "parse_adaptor",
     "parse_adaptors",
@@ -141,6 +148,7 @@ __all__ = [
     "parse_variant",
     "random_inputs",
     "reference",
+    "single_node",
     "train_model",
     "translate",
     "validate",

@@ -1,0 +1,81 @@
+"""One-sided transfer ops: first-class, schedulable, costed per link.
+
+Modeled after NVSHMEM-style node libraries: a :class:`TransferOp` is a
+``put`` (source-initiated write into a remote device) or ``get``
+(destination-initiated read from a remote device) of a named array
+region.  Ops are *data*, not calls — the planner emits them, the event
+timeline (:func:`repro.gpu.timing.estimate_dist_time`) schedules them on
+their topology channel, and compute on the destination device starts
+only once its inbound ops have landed (the signal-wait the one-sided
+model implies).
+
+:func:`schedule` lowers a list of ops to the ``(dst, channel, seconds)``
+event tuples the timeline consumes; list order is issue order, so two
+ops on the same channel serialise in the order given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .topology import Topology
+
+__all__ = ["TransferOp", "put", "get", "broadcast", "schedule"]
+
+
+@dataclass(frozen=True)
+class TransferOp:
+    """One one-sided transfer between two device ranks."""
+
+    kind: str  # "put" | "get"
+    array: str
+    src: int
+    dst: int
+    nbytes: float
+
+    def __post_init__(self):
+        if self.kind not in ("put", "get"):
+            raise ValueError(f"transfer kind must be put/get, got {self.kind!r}")
+        if self.src == self.dst:
+            raise ValueError(f"transfer of {self.array!r} from rank {self.src} to itself")
+        if self.nbytes < 0:
+            raise ValueError("transfer cannot carry negative bytes")
+
+    def channel(self, topology: Topology) -> str:
+        """The serialisation resource this op occupies."""
+        return topology.channel(self.src, self.dst)
+
+    def cost_s(self, topology: Topology) -> float:
+        """Link latency plus the bandwidth term, per the topology."""
+        return topology.link_between(self.src, self.dst).transfer_s(self.nbytes)
+
+
+def put(array: str, src: int, dst: int, nbytes: float) -> TransferOp:
+    """Source-initiated write of ``array`` bytes into rank ``dst``."""
+    return TransferOp("put", array, src, dst, nbytes)
+
+
+def get(array: str, src: int, dst: int, nbytes: float) -> TransferOp:
+    """Destination-initiated read of ``array`` bytes from rank ``src``."""
+    return TransferOp("get", array, src, dst, nbytes)
+
+
+def broadcast(
+    array: str, src: int, ranks: Iterable[int], nbytes: float
+) -> List[TransferOp]:
+    """Replicate ``array`` from ``src`` to every other rank: one put each.
+
+    The 1D split's communication pattern — the owner pushes the full
+    operand to each participating peer (``src`` itself is skipped)."""
+    return [put(array, src, r, nbytes) for r in ranks if r != src]
+
+
+def schedule(
+    ops: Sequence[TransferOp], topology: Topology
+) -> List[Tuple[int, str, float]]:
+    """Lower ops to the event tuples the dist timeline consumes.
+
+    Returns ``(dst_rank, channel, seconds)`` per op, preserving issue
+    order (ops on one channel serialise in this order)."""
+    return [(op.dst, op.channel(topology), op.cost_s(topology)) for op in ops]

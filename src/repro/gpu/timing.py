@@ -25,7 +25,7 @@ tiled kernels carry that ILP, modeled via the per-thread work factor).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..codegen.analysis import KernelModel
 from .arch import GPUArch
@@ -37,10 +37,12 @@ __all__ = [
     "LaunchTiming",
     "BatchTiming",
     "ChainTiming",
+    "DistTiming",
     "estimate_kernel_time",
     "estimate_time",
     "estimate_batched_time",
     "estimate_chain_time",
+    "estimate_dist_time",
 ]
 
 #: occupancy knee under which latency can no longer be hidden
@@ -280,6 +282,99 @@ def _merge_segment(
         phases=phases,
     )
     return merged, saved
+
+
+@dataclass
+class DistTiming:
+    """Event-timeline account of one distributed (multi-device) call.
+
+    ``overlapped_s`` is the timeline makespan — transfers overlap with
+    every panel compute that does not *wait* on them; ``serial_s`` is
+    the legacy accounting (all transfers charged serially on top of the
+    slowest panel), kept reachable for the overlap-vs-serial ablation.
+    """
+
+    #: modeled kernel time per participating device rank
+    per_device_s: Dict[int, float]
+    #: cost of each scheduled transfer, in issue order
+    transfer_s: List[float]
+    #: timeline makespan: max over devices of (inbound done + compute)
+    overlapped_s: float
+    #: legacy serial charge: sum(transfers) + max(compute)
+    serial_s: float
+    nominal_flops: float = 0.0
+
+    @property
+    def time_s(self) -> float:
+        return self.overlapped_s
+
+    @property
+    def comm_s(self) -> float:
+        return sum(self.transfer_s)
+
+    @property
+    def overlap_saved_s(self) -> float:
+        """What overlap-aware accounting reclaims from the serial charge."""
+        return self.serial_s - self.overlapped_s
+
+    @property
+    def gflops(self) -> float:
+        t = self.time_s
+        return self.nominal_flops / t / 1e9 if t > 0 else 0.0
+
+
+def estimate_dist_time(
+    compute_s: Union[Mapping[int, float], Sequence[float]],
+    transfers: Sequence[Tuple[int, str, float]],
+    nominal_flops: float = 0.0,
+) -> DistTiming:
+    """Overlap-aware makespan of panel computes plus one-sided transfers.
+
+    ``compute_s`` maps device rank → modeled kernel time (a sequence is
+    taken as ranks ``0..len-1``); ``transfers`` are ``(dst_rank,
+    channel, seconds)`` events in issue order (what
+    :func:`repro.dist.comm.schedule` emits).  The timeline is simple and
+    documented rather than clever:
+
+    * transfers on one channel serialise in issue order; distinct
+      channels (peer links of different nodes, the fabric) proceed
+      concurrently — that concurrency is exactly what the legacy serial
+      account gave away;
+    * a device starts computing once all its inbound transfers have
+      landed (the one-sided model's signal-wait), and devices compute
+      concurrently;
+    * the makespan is the latest of any device finish or channel drain.
+
+    ``serial_s`` keeps the old charge — every transfer summed on top of
+    the slowest panel — so callers can report both sides of the claim.
+    """
+    if not isinstance(compute_s, Mapping):
+        compute_s = dict(enumerate(compute_s))
+    channel_free: Dict[str, float] = {}
+    inbound_done: Dict[int, float] = {}
+    costs: List[float] = []
+    for dst, channel, seconds in transfers:
+        if seconds < 0:
+            raise ValueError("transfer events cannot run backwards")
+        end = channel_free.get(channel, 0.0) + seconds
+        channel_free[channel] = end
+        inbound_done[dst] = max(inbound_done.get(dst, 0.0), end)
+        costs.append(seconds)
+    finishes = [
+        inbound_done.get(rank, 0.0) + kernel_s
+        for rank, kernel_s in compute_s.items()
+    ]
+    overlapped = max(
+        max(finishes, default=0.0), max(channel_free.values(), default=0.0)
+    )
+    serial = sum(costs) + max(compute_s.values(), default=0.0)
+    return DistTiming(
+        per_device_s=dict(compute_s),
+        transfer_s=costs,
+        overlapped_s=overlapped,
+        serial_s=serial,
+        nominal_flops=nominal_flops,
+    )
 
 
 def estimate_chain_time(

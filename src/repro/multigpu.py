@@ -1,26 +1,25 @@
-"""Multi-GPU extension (the paper's §VII future work).
+"""Multi-GPU extension (the paper's §VII future work) — now a thin shim.
 
 "In future, we will extend our method to more routines and multi-GPUs."
 
-This module takes that step on the simulated substrate: a
-:class:`MultiGPULibrary` partitions a BLAS3 call column-wise across
-several (simulated) devices, reusing the single-GPU tuned routines
-unchanged:
+The single-node column/row panel split that used to live here moved into
+the :mod:`repro.dist` package, which generalises it to multi-node
+topologies, one-sided transfer scheduling and tuner-chosen 2D process
+grids.  :class:`MultiGPULibrary` keeps its full public surface — the
+constructor, :meth:`~MultiGPULibrary.timing`/:meth:`~MultiGPULibrary.run`
+/:meth:`~MultiGPULibrary.scaling`, the ``multigpu.*`` telemetry — as a
+shim over a :class:`~repro.dist.executor.DistLibrary` on a
+:func:`~repro.dist.topology.single_node` topology whose defaults
+reproduce the legacy PCIe broadcast numbers exactly.
 
-* **GEMM / SYMM / TRMM (left-side)** — C's column panels are independent:
-  device *d* computes ``C[:, d]`` from the full A and its panel of B.
-  A is broadcast to every device, which the time model charges at PCIe
-  bandwidth (one host→device copy per device, overlappable).
-* **TRSM (left-side)** — the solve recurrence runs down rows, but RHS
-  *columns* are independent, so the same column split applies.
-* **Right-side variants** — the roles flip: the *row* panels of C/B are
-  independent and the (symmetric/triangular) A is broadcast.
-
-The functional path executes each device's panel through the simulated
-GPU; the timing model returns per-device kernel time plus the broadcast
-cost, so the scaling study (`benchmarks/test_ablation_multigpu.py`) shows
-the expected behaviour: near-linear scaling for large N until the
-broadcast of A dominates.
+One accounting upgrade rides along: :attr:`MultiGPUTiming.time_s` is now
+the *overlap-aware* event-timeline account (transfers serialise per link
+but overlap with compute on devices whose data already landed).  The old
+serial charge — ``max(per_device_s) + broadcast_s`` — remains available
+as :attr:`MultiGPUTiming.serial_time_s`.  On the default single-node
+topology the two coincide for uniform splits (every broadcast copy
+shares one channel and the last device cannot start early), so existing
+numbers are unchanged.
 """
 
 from __future__ import annotations
@@ -30,15 +29,21 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from .blas3.routines import get_spec
+from .blas3.routines import get_spec, infer_sizes
+from .dist.executor import DistLibrary
+from .dist.plan import (
+    broadcast_operands,
+    panel_bounds,
+    plan_1d,
+    split_axis,
+    split_dim,
+)
+from .dist.topology import PCIE_BANDWIDTH_GBS, single_node
 from .gpu.arch import GPUArch
 from .telemetry import Telemetry, ensure_telemetry
 from .tuner.library import LibraryGenerator, TunedRoutine
 
 __all__ = ["MultiGPULibrary", "MultiGPUTiming", "PCIE_BANDWIDTH_GBS"]
-
-#: Gen2 x16, the era's host link (shared by the paper's three platforms).
-PCIE_BANDWIDTH_GBS = 6.0
 
 
 @dataclass
@@ -48,12 +53,21 @@ class MultiGPUTiming:
     per_device_s: List[float]
     broadcast_s: float
     nominal_flops: float
+    #: event-timeline account (transfers overlap compute); ``None`` falls
+    #: back to the serial charge below
+    overlapped_s: Optional[float] = None
+
+    @property
+    def serial_time_s(self) -> float:
+        """The legacy account: slowest device plus the whole broadcast."""
+        peak = max(self.per_device_s) if self.per_device_s else 0.0
+        return peak + self.broadcast_s
 
     @property
     def time_s(self) -> float:
-        # Devices run concurrently; the broadcast pipelines with the first
-        # kernel only partially — charge it serially (conservative).
-        return max(self.per_device_s) + self.broadcast_s
+        if self.overlapped_s is not None:
+            return self.overlapped_s
+        return self.serial_time_s
 
     @property
     def gflops(self) -> float:
@@ -64,7 +78,13 @@ class MultiGPUTiming:
 
 
 class MultiGPULibrary:
-    """Column-split BLAS3 across ``num_devices`` identical simulated GPUs."""
+    """Column-split BLAS3 across ``num_devices`` identical simulated GPUs.
+
+    A shim over :class:`repro.dist.executor.DistLibrary` pinned to the 1D
+    panel plan on a single-node topology — the exact legacy behaviour.
+    Use :class:`DistLibrary` directly for multi-node topologies and
+    searched 2D plans.
+    """
 
     def __init__(
         self,
@@ -83,38 +103,43 @@ class MultiGPULibrary:
         self.generator = generator or LibraryGenerator(
             arch, telemetry=self.telemetry
         )
+        self.topology = single_node(num_devices)
+        self.dist = DistLibrary(
+            arch,
+            self.topology,
+            generator=self.generator,
+            telemetry=self.telemetry,
+        )
 
-    # ------------------------------------------------------------------
+    # -- back-compat helpers (now derived from the routine spec) -------
     def _split_dim(self, name: str) -> str:
         """The dimension partitioned across devices."""
-        spec = get_spec(name)
-        side = spec.variant.side
-        if spec.variant.family == "GEMM" or side == "L":
-            return "N"  # column panels independent
-        return "M"  # right-side: row panels independent
+        return split_dim(get_spec(name))
 
     def _broadcast_array(self, name: str) -> Optional[str]:
+        """The operand replicated to every device.
+
+        Derived from the spec (the operands whose dims lack the split
+        dimension) instead of the old hardcoded conditional whose
+        branches both returned ``"A"``.
+        """
         spec = get_spec(name)
-        if spec.variant.family == "GEMM":
-            return "A"  # the non-split operand panel
-        return "A"  # the symmetric/triangular matrix
+        names = broadcast_operands(spec, split_dim(spec))
+        return names[0] if names else None
 
     def _panel_bounds(self, length: int) -> List[tuple]:
-        """``(lo, hi)`` split-dimension slices, one per non-empty panel.
+        return panel_bounds(length, self.num_devices)
 
-        Ceil-sized panels: an uneven split gives the first devices the
-        larger panel and the last the remainder, so the slowest device
-        models the *largest* panel (flooring under-modeled the work and
-        over-reported GFLOPS).  Devices beyond ``length`` get no panel.
-        """
-        step = -(-length // self.num_devices)
-        bounds = []
-        for d in range(self.num_devices):
-            lo = min(length, d * step)
-            hi = min(length, lo + step)
-            if lo < hi:
-                bounds.append((lo, hi))
-        return bounds
+    def _is_split_array(self, spec, array_name: str) -> bool:
+        """Whether an array is panel-split (vs broadcast whole)."""
+        split = split_dim(spec)
+        for arr in spec.arrays:
+            if arr.name == array_name:
+                return split_axis(arr, split) is not None
+        return False
+
+    def _plan(self, name: str):
+        return plan_1d(get_spec(name), self.num_devices)
 
     # ------------------------------------------------------------------
     def routine(self, name: str) -> TunedRoutine:
@@ -130,49 +155,18 @@ class MultiGPULibrary:
             "multigpu.timing", routine=name, n=n, devices=self.num_devices
         ):
             spec = get_spec(name)
-            tuned = self.routine(name)
-            split = self._split_dim(name)
+            plan = self._plan(name)
             sizes = spec.make_sizes(n)
-            bounds = self._panel_bounds(sizes[split])
-            if sizes[split] % self.num_devices:
+            if sizes[plan.split] % self.num_devices:
                 self.telemetry.incr("multigpu.uneven_splits")
-
-            from .gpu.simulator import SimulatedGPU
-
-            gpu = SimulatedGPU(self.arch)
-            time_by_len: Dict[int, float] = {}
-            per_device = []
-            for lo, hi in bounds:
-                panel_len = hi - lo
-                if panel_len not in time_by_len:
-                    panel_sizes = dict(sizes)
-                    panel_sizes[split] = panel_len
-                    run = gpu.profile(
-                        tuned.comp,
-                        panel_sizes,
-                        nominal_flops=spec.nominal_flops(panel_sizes),
-                    )
-                    time_by_len[panel_len] = run.time_s
-                per_device.append(time_by_len[panel_len])
-
-            bcast_name = self._broadcast_array(name)
-            bcast_bytes = 0.0
-            for arr in spec.arrays:
-                if arr.name == bcast_name:
-                    elems = 1.0
-                    for d in arr.dims:
-                        elems *= d.evaluate(sizes)
-                    bcast_bytes = elems * float(np.dtype(arr.dtype).itemsize)
-            # One copy per extra device (device 0 holds the data already).
-            broadcast_s = (
-                bcast_bytes * max(0, self.num_devices - 1)
-            ) / (PCIE_BANDWIDTH_GBS * 1e9)
-
+            timing = self.dist.timing(name, sizes=sizes, plan=plan)
             self.telemetry.incr("multigpu.timings")
+            per_device = [timing.per_device_s[r] for r in sorted(timing.per_device_s)]
             return MultiGPUTiming(
                 per_device_s=per_device,
-                broadcast_s=broadcast_s,
-                nominal_flops=spec.nominal_flops(sizes),
+                broadcast_s=timing.comm_s,
+                nominal_flops=timing.nominal_flops,
+                overlapped_s=timing.overlapped_s,
             )
 
     def gflops(self, name: str, n: int) -> float:
@@ -182,7 +176,9 @@ class MultiGPULibrary:
         """GFLOPS per device count (reusing this library's tuned kernels)."""
         out = {}
         for d in devices:
-            lib = MultiGPULibrary(self.arch, d, generator=self.generator)
+            lib = MultiGPULibrary(
+                self.arch, d, generator=self.generator, telemetry=self.telemetry
+            )
             out[d] = lib.gflops(name, n)
         return out
 
@@ -216,50 +212,17 @@ class MultiGPULibrary:
         ceil-sized panels on the first devices and the remainder on the
         last (the tuned kernel pads internally as needed).
         """
-        inputs = arrays
         spec = get_spec(name)
-        tuned = self.routine(name)
-        split = self._split_dim(name)
-
-        full = {k: np.asarray(v) for k, v in inputs.items()}
-        if sizes is not None:
-            length = int(sizes[split])
-        else:
-            length = full["B"].shape[1] if split == "N" else full["B"].shape[0]
-        bounds = self._panel_bounds(length)
+        plan = self._plan(name)
+        full = {k: np.asarray(v) for k, v in arrays.items()}
+        logical = dict(sizes) if sizes is not None else infer_sizes(spec, full)
+        length = int(logical[plan.split])
+        bounds = panel_bounds(length, self.num_devices)
         with self.telemetry.span(
             "multigpu.run", routine=name, devices=self.num_devices, panels=len(bounds)
         ):
             if length % self.num_devices:
                 self.telemetry.incr("multigpu.uneven_splits")
-            panels = []
-            for lo, hi in bounds:
-                panel_inputs = {}
-                for arr in spec.arrays:
-                    if arr.name not in full:
-                        continue
-                    data = full[arr.name]
-                    if self._is_split_array(spec, arr.name):
-                        data = data[:, lo:hi] if split == "N" else data[lo:hi, :]
-                    panel_inputs[arr.name] = np.ascontiguousarray(data)
-                panel_sizes = None
-                if sizes is not None:
-                    panel_sizes = dict(sizes)
-                    panel_sizes[split] = hi - lo
-                panels.append(
-                    tuned._execute(
-                        panel_inputs, sizes=panel_sizes, alpha=alpha, beta=beta
-                    )
-                )
-            axis = 1 if split == "N" else 0
-            return np.concatenate(panels, axis=axis)
-
-    def _is_split_array(self, spec, array_name: str) -> bool:
-        """Whether an array is panel-split (vs broadcast whole)."""
-        split = self._split_dim(spec.name)
-        for arr in spec.arrays:
-            if arr.name != array_name:
-                continue
-            dims = [str(d) for d in arr.dims]
-            return split in dims and array_name != self._broadcast_array(spec.name)
-        return False
+            return self.dist.run(
+                name, plan=plan, alpha=alpha, beta=beta, sizes=logical, **full
+            )

@@ -42,7 +42,7 @@ from ..composer.generator import ComposedScript
 from ..epod.translator import EpodTranslator
 from ..gpu.arch import GPUArch
 from ..gpu.simulator import RunResult, SimulatedGPU
-from ..gpu.timing import ChainTiming, estimate_chain_time
+from ..gpu.timing import ChainTiming, DistTiming, estimate_chain_time
 from ..ir.ast import Computation
 from ..telemetry import Metrics, Telemetry, ensure_telemetry
 from .options import TuningOptions, resolve_options
@@ -52,6 +52,7 @@ __all__ = [
     "SearchResult",
     "CandidateScore",
     "ChainSearchResult",
+    "DistSearchResult",
     "VariantSearch",
     "CURATED_SPACE",
     "rank_key",
@@ -148,6 +149,30 @@ class ChainSearchResult:
     @property
     def fused(self) -> bool:
         return any(self.mask)
+
+
+@dataclass
+class DistSearchResult:
+    """The distribution-plan sweep of one routine (see :meth:`search_dist`).
+
+    ``plan`` is the winning :class:`repro.dist.plan.DistPlan`, ``timing``
+    its event-timeline account, ``baseline`` the 1D panel split's account
+    (always evaluated, wins ties)."""
+
+    plan: object
+    timing: DistTiming
+    baseline: DistTiming
+    evaluated: List[Tuple[object, DistTiming]] = field(default_factory=list)
+
+    @property
+    def is_2d(self) -> bool:
+        return getattr(self.plan, "kind", "1d") == "2d"
+
+    @property
+    def speedup_over_1d(self) -> float:
+        if self.timing.time_s <= 0:
+            return 0.0
+        return self.baseline.time_s / self.timing.time_s
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -625,4 +650,37 @@ class VariantSearch:
             best = (tuple([False] * len(edges)), unfused)
         return ChainSearchResult(
             mask=best[0], timing=best[1], unfused=unfused, evaluated=evaluated
+        )
+
+    def search_dist(self, plans: Sequence, timer) -> DistSearchResult:
+        """Rank distribution plans the way :meth:`search_chain` ranks masks.
+
+        ``plans`` are :class:`repro.dist.plan.DistPlan` candidates (the
+        1D panel split must be among them — it is the exact legacy
+        fallback), ``timer(plan)`` returns the plan's
+        :class:`~repro.gpu.timing.DistTiming`.  Every plan is costed;
+        a 2D grid wins only when *strictly faster* than the 1D baseline
+        — distributing differently is an optimisation, never a semantic
+        change, so ties keep the plan with the legacy data layout.
+        """
+        evaluated: List[Tuple[object, DistTiming]] = []
+        baseline: Optional[Tuple[object, DistTiming]] = None
+        best: Optional[Tuple[object, DistTiming]] = None
+        for plan in plans:
+            timing = timer(plan)
+            evaluated.append((plan, timing))
+            if baseline is None and getattr(plan, "kind", "1d") == "1d":
+                baseline = (plan, timing)
+            if best is None or timing.time_s < best[1].time_s:
+                best = (plan, timing)
+        if baseline is None:
+            raise ValueError("search_dist needs the 1D baseline among the plans")
+        self.telemetry.incr("search.dist_plans", len(evaluated))
+        if getattr(best[0], "kind", "1d") != "1d" and best[1].time_s >= baseline[1].time_s:
+            best = baseline
+        return DistSearchResult(
+            plan=best[0],
+            timing=best[1],
+            baseline=baseline[1],
+            evaluated=evaluated,
         )

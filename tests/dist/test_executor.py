@@ -1,0 +1,282 @@
+"""Tests for DistLibrary: plan search, overlap timing, functional runs."""
+
+import numpy as np
+import pytest
+
+from repro.blas3 import random_inputs, reference
+from repro.blas3.routines import get_spec
+from repro.dist import DistLibrary, multi_node, single_node
+from repro.dist.plan import DistPlan, plan_1d
+from repro.gpu import GTX_285
+from repro.multigpu import MultiGPULibrary
+from repro.telemetry import Telemetry
+from repro.tuner import LibraryGenerator, TuningOptions
+from repro.tuner.search import DistSearchResult
+
+SMALL_SPACE = [{"BM": 16, "BN": 16, "KT": 8, "TX": 8, "TY": 2}]
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return LibraryGenerator(GTX_285, options=TuningOptions(space=SMALL_SPACE))
+
+
+@pytest.fixture(scope="module")
+def cluster(gen):
+    return DistLibrary(GTX_285, multi_node(2, 2), generator=gen)
+
+
+class TestFunctional1D:
+    @pytest.mark.parametrize("name", ["GEMM-NN", "GEMM-NT", "GEMM-TN", "GEMM-TT"])
+    def test_gemm_all_transposes_match_reference(self, cluster, name):
+        # Regression: the old multigpu.run hardcoded the slice axis, so
+        # a column split of GEMM-NT's (N, K)-shaped B cut the wrong
+        # axis.  The planner slices by declared-dim position.
+        inputs = random_inputs(name, {"M": 32, "N": 32, "K": 16}, seed=31)
+        got = cluster.run(name, plan=cluster.default_plan(name), **inputs)
+        np.testing.assert_allclose(
+            got, reference(name, inputs), rtol=4e-3, atol=4e-3
+        )
+
+    @pytest.mark.parametrize("name", ["SYMM-RL", "TRMM-RU-N", "TRSM-LL-N"])
+    def test_structured_variants_match_reference(self, cluster, name):
+        inputs = random_inputs(name, {"M": 32, "N": 32}, seed=32)
+        got = cluster.run(name, plan=cluster.default_plan(name), **inputs)
+        np.testing.assert_allclose(
+            got, reference(name, inputs), rtol=4e-3, atol=4e-3
+        )
+
+    def test_uneven_split_matches_reference(self, cluster):
+        inputs = random_inputs("GEMM-NN", {"M": 32, "N": 31, "K": 16}, seed=33)
+        got = cluster.run("GEMM-NN", plan=cluster.default_plan("GEMM-NN"), **inputs)
+        np.testing.assert_allclose(
+            got, reference("GEMM-NN", inputs), rtol=4e-3, atol=4e-3
+        )
+
+    def test_more_devices_than_columns(self, gen):
+        # num_devices > split length: surplus ranks hold empty panels.
+        lib = DistLibrary(GTX_285, single_node(8), generator=gen)
+        inputs = random_inputs("GEMM-NN", {"M": 32, "N": 4, "K": 16}, seed=34)
+        got = lib.run("GEMM-NN", plan=lib.default_plan("GEMM-NN"), **inputs)
+        np.testing.assert_allclose(
+            got, reference("GEMM-NN", inputs), rtol=4e-3, atol=4e-3
+        )
+
+    def test_empty_panels_counted_in_timing(self, gen):
+        telemetry = Telemetry()
+        lib = DistLibrary(GTX_285, single_node(8), generator=gen, telemetry=telemetry)
+        timing = lib.timing("GEMM-NN", sizes={"M": 32, "N": 4, "K": 16})
+        assert len(timing.per_device_s) == 4
+        assert telemetry.count("dist.empty_panels") == 4
+
+
+class TestFunctional2D:
+    @pytest.mark.parametrize("name", ["GEMM-NN", "GEMM-NT", "GEMM-TN", "GEMM-TT"])
+    @pytest.mark.parametrize("cyclic", [1, 2])
+    def test_2d_matches_reference(self, cluster, name, cyclic):
+        plan = DistPlan(name, "2d", (2, 2), "MN", cyclic=cyclic)
+        inputs = random_inputs(name, {"M": 32, "N": 32, "K": 16}, seed=35)
+        got = cluster.run(name, plan=plan, alpha=1.5, beta=-0.5, **inputs)
+        np.testing.assert_allclose(
+            got,
+            reference(name, inputs, alpha=1.5, beta=-0.5),
+            rtol=4e-3,
+            atol=4e-3,
+        )
+
+    def test_2d_uneven_matches_reference(self, cluster):
+        plan = DistPlan("GEMM-NN", "2d", (2, 2), "MN")
+        inputs = random_inputs("GEMM-NN", {"M": 33, "N": 31, "K": 16}, seed=36)
+        got = cluster.run("GEMM-NN", plan=plan, **inputs)
+        np.testing.assert_allclose(
+            got, reference("GEMM-NN", inputs), rtol=4e-3, atol=4e-3
+        )
+
+    def test_2d_and_1d_agree(self, cluster):
+        inputs = random_inputs("GEMM-NN", {"M": 32, "N": 32, "K": 16}, seed=37)
+        one = cluster.run("GEMM-NN", plan=cluster.default_plan("GEMM-NN"), **inputs)
+        two = cluster.run(
+            "GEMM-NN", plan=DistPlan("GEMM-NN", "2d", (2, 2), "MN"), **inputs
+        )
+        np.testing.assert_allclose(one, two, rtol=2e-3, atol=2e-3)
+
+
+class TestTiming:
+    def test_single_node_matches_legacy_account(self, gen):
+        # On the legacy substrate every broadcast copy shares one peer
+        # channel, so the overlapped makespan equals the old serial
+        # charge — the shim's numbers are unchanged.
+        lib = DistLibrary(GTX_285, single_node(2), generator=gen)
+        t = lib.timing("GEMM-NN", 512)
+        assert t.overlapped_s == pytest.approx(t.serial_s)
+
+    def test_multi_node_overlap_beats_serial(self, gen):
+        # Peer and fabric channels run concurrently: the event timeline
+        # reclaims time the serial account charges.
+        lib = DistLibrary(GTX_285, multi_node(2, 2), generator=gen)
+        t = lib.timing("GEMM-NN", 512)
+        assert t.overlapped_s < t.serial_s
+        assert t.overlap_saved_s > 0
+
+    def test_2d_moves_fewer_bytes_than_1d(self, gen):
+        lib = DistLibrary(GTX_285, multi_node(4, 4), generator=gen)
+        sizes = {"M": 1024, "N": 1024, "K": 1024}
+        one = lib.transfers(lib.default_plan("GEMM-NN"), sizes)
+        two = lib.transfers(DistPlan("GEMM-NN", "2d", (4, 4), "MN"), sizes)
+        assert sum(op.nbytes for op in two) < sum(op.nbytes for op in one)
+        # ... at the price of more messages
+        assert len(two) > len(one)
+
+    def test_timing_requires_n_or_sizes(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.timing("GEMM-NN")
+
+
+class TestPlanSearch:
+    def test_small_n_keeps_1d(self, gen):
+        lib = DistLibrary(GTX_285, multi_node(4, 4), generator=gen)
+        result = lib.generate("GEMM-NN", 128)
+        assert result.plan.kind == "1d"
+
+    def test_large_n_crosses_to_2d(self, gen):
+        lib = DistLibrary(GTX_285, multi_node(4, 4), generator=gen)
+        result = lib.generate("GEMM-NN", 2048)
+        assert result.plan.kind == "2d"
+        assert result.timing.time_s < result.baseline.time_s
+        assert result.speedup_over_1d > 1.0
+
+    def test_baseline_always_evaluated(self, gen):
+        lib = DistLibrary(GTX_285, multi_node(4, 4), generator=gen)
+        result = lib.generate("GEMM-NN", 256)
+        kinds = [p.kind for p, _ in result.evaluated]
+        assert "1d" in kinds and "2d" in kinds
+        assert result.baseline is not None
+
+    def test_structured_variants_only_search_1d(self, gen):
+        lib = DistLibrary(GTX_285, multi_node(4, 4), generator=gen)
+        result = lib.generate("SYMM-LL", 256)
+        assert result.plan.kind == "1d"
+        assert len(result.evaluated) == 1
+
+    def test_generate_memoizes(self, gen):
+        telemetry = Telemetry()
+        lib = DistLibrary(
+            GTX_285, multi_node(2, 2), generator=gen, telemetry=telemetry
+        )
+        first = lib.generate("GEMM-NN", 256)
+        count = telemetry.count("search.dist_plans")
+        assert lib.generate("GEMM-NN", 256) is first
+        assert telemetry.count("search.dist_plans") == count
+
+    def test_search_dist_requires_baseline(self, gen):
+        plan = DistPlan("GEMM-NN", "2d", (2, 2), "MN")
+        from repro.gpu.timing import estimate_dist_time
+
+        with pytest.raises(ValueError):
+            gen.searcher.search_dist(
+                [plan], lambda p: estimate_dist_time({0: 1.0}, [])
+            )
+
+    def test_search_dist_tie_keeps_baseline(self, gen):
+        from repro.gpu.timing import estimate_dist_time
+
+        one = plan_1d(get_spec("GEMM-NN"), 4)
+        two = DistPlan("GEMM-NN", "2d", (2, 2), "MN")
+        result = gen.searcher.search_dist(
+            [one, two], lambda p: estimate_dist_time({0: 1.0}, [])
+        )
+        assert isinstance(result, DistSearchResult)
+        assert result.plan is one
+        assert not result.is_2d
+
+
+class TestTelemetry:
+    def test_dist_spans_and_counters(self, gen):
+        telemetry = Telemetry()
+        lib = DistLibrary(
+            GTX_285, multi_node(2, 2), generator=gen, telemetry=telemetry
+        )
+        lib.timing("GEMM-NN", 512)
+        (span,) = telemetry.find("dist.timing")
+        assert span.tags["plan"] == "1d[N/4]"
+        assert telemetry.count("dist.timings") == 1
+        assert telemetry.count("dist.transfers") == 3
+        assert telemetry.count("dist.bytes") > 0
+
+    def test_run_span_and_counter(self, gen):
+        telemetry = Telemetry()
+        lib = DistLibrary(
+            GTX_285, single_node(2), generator=gen, telemetry=telemetry
+        )
+        inputs = random_inputs("GEMM-NN", {"M": 32, "N": 32, "K": 16}, seed=38)
+        lib.run("GEMM-NN", plan=lib.default_plan("GEMM-NN"), **inputs)
+        assert telemetry.find("dist.run")
+        assert telemetry.count("dist.runs") == 1
+
+    def test_plan_selection_counters(self, gen):
+        telemetry = Telemetry()
+        lib = DistLibrary(
+            GTX_285, multi_node(4, 4), generator=gen, telemetry=telemetry
+        )
+        lib.generate("GEMM-NN", 128)
+        assert telemetry.count("dist.plan_1d_selected") == 1
+        lib.generate("GEMM-NN", 2048)
+        assert telemetry.count("dist.plan_2d_selected") == 1
+
+
+class TestShimEquivalence:
+    def test_shim_and_dist_outputs_bit_identical(self, gen):
+        # Satellite guarantee: MultiGPULibrary.run is exactly the dist
+        # executor on a single-node topology — same panels, same
+        # kernels, bitwise-equal output.
+        shim = MultiGPULibrary(GTX_285, 2, generator=gen)
+        lib = DistLibrary(GTX_285, single_node(2), generator=gen)
+        inputs = random_inputs("GEMM-NN", {"M": 32, "N": 31, "K": 16}, seed=39)
+        a = shim.run("GEMM-NN", alpha=1.25, beta=0.5, **inputs)
+        b = lib.run(
+            "GEMM-NN",
+            plan=lib.default_plan("GEMM-NN"),
+            alpha=1.25,
+            beta=0.5,
+            **inputs,
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_shim_timing_exposes_both_accounts(self, gen):
+        shim = MultiGPULibrary(GTX_285, 2, generator=gen)
+        t = shim.timing("GEMM-NN", 512)
+        assert t.overlapped_s is not None
+        assert t.time_s == t.overlapped_s
+        # single-node uniform split: overlap reclaims nothing, the two
+        # accounts coincide (legacy numbers unchanged)
+        assert t.serial_time_s == pytest.approx(
+            max(t.per_device_s) + t.broadcast_s
+        )
+        assert t.time_s == pytest.approx(t.serial_time_s)
+
+    def test_shim_broadcast_array_derived(self, gen):
+        shim = MultiGPULibrary(GTX_285, 2, generator=gen)
+        assert shim._broadcast_array("GEMM-NN") == "A"
+        assert shim._broadcast_array("SYMM-RL") == "A"
+
+    def test_batched_variant_splits_correctly(self, gen):
+        # The derived broadcast set makes BGEMM work through the
+        # multi-device path: the split dim is M (per-problem rows), the
+        # replicated operand is B — the old hardcoded "A" both
+        # broadcast and failed to split A, mismatching C's panels.
+        shim = MultiGPULibrary(GTX_285, 2, generator=gen)
+        inputs = random_inputs("BGEMM-NN", {"P": 3, "M": 16, "N": 16, "K": 8}, seed=40)
+        got = shim.run("BGEMM-NN", **inputs)
+        np.testing.assert_allclose(
+            got, reference("BGEMM-NN", inputs), rtol=4e-3, atol=4e-3
+        )
+        assert shim._broadcast_array("BGEMM-NN") == "B"
+
+    def test_scaling_threads_telemetry(self, gen):
+        # Regression: scaling() built per-device-count libraries without
+        # telemetry=, so their spans fell into a null sink.
+        telemetry = Telemetry()
+        shim = MultiGPULibrary(GTX_285, 2, generator=gen, telemetry=telemetry)
+        shim.scaling("GEMM-NN", 256, devices=(1, 2))
+        spans = telemetry.find("multigpu.timing")
+        assert {s.tags["devices"] for s in spans} == {1, 2}

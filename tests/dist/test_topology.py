@@ -1,0 +1,83 @@
+"""Tests for the topology descriptor (nodes × devices, costed links)."""
+
+import pytest
+
+from repro.dist.topology import (
+    PCIE_BANDWIDTH_GBS,
+    Link,
+    Topology,
+    multi_node,
+    single_node,
+)
+
+
+class TestLink:
+    def test_transfer_cost_is_latency_plus_bandwidth_term(self):
+        link = Link("fabric", bandwidth_gbs=2.0, latency_s=1e-5)
+        assert link.transfer_s(2e9) == pytest.approx(1e-5 + 1.0)
+
+    def test_zero_bytes_costs_the_latency(self):
+        link = Link("fabric", bandwidth_gbs=2.0, latency_s=1e-5)
+        assert link.transfer_s(0) == pytest.approx(1e-5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Link("x", bandwidth_gbs=0.0)
+        with pytest.raises(ValueError):
+            Link("x", bandwidth_gbs=1.0, latency_s=-1.0)
+
+
+class TestTopology:
+    def test_node_major_rank_layout(self):
+        top = multi_node(2, 4)
+        assert top.total_devices == 8
+        assert [top.node_of(r) for r in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+        with pytest.raises(ValueError):
+            top.node_of(8)
+
+    def test_link_selection(self):
+        top = multi_node(2, 2)
+        assert top.link_between(0, 1) is top.peer_link
+        assert top.link_between(1, 2) is top.fabric_link
+        with pytest.raises(ValueError):
+            top.link_between(1, 1)
+
+    def test_fabric_is_one_shared_channel(self):
+        # Every cross-node pair serialises on the same resource; peer
+        # channels are per-node.
+        top = multi_node(2, 2)
+        assert top.channel(0, 3) == top.channel(2, 1) == "fabric"
+        assert top.channel(0, 1) == "peer:0"
+        assert top.channel(2, 3) == "peer:1"
+        assert top.channel(0, 1) != top.channel(2, 3)
+
+    def test_validation(self):
+        link = Link("l", 1.0)
+        with pytest.raises(ValueError):
+            Topology(0, 2, link, link, link)
+        with pytest.raises(ValueError):
+            Topology(1, 0, link, link, link)
+
+    def test_key_is_stable_and_distinguishes(self):
+        a = multi_node(2, 2)
+        assert a.key() == multi_node(2, 2).key()
+        assert a.key() != multi_node(2, 2, fabric_gbs=6.0).key()
+        assert a.key() != single_node(4).key()
+
+
+class TestFactories:
+    def test_single_node_reproduces_legacy_broadcast_model(self):
+        # The shim's bit-compat anchor: peer copies at PCIe bandwidth,
+        # zero per-message latency.
+        top = single_node(4)
+        assert top.nodes == 1
+        assert top.peer_link.bandwidth_gbs == PCIE_BANDWIDTH_GBS
+        assert top.peer_link.latency_s == 0.0
+        nbytes = 512 * 512 * 4
+        want = nbytes / (PCIE_BANDWIDTH_GBS * 1e9)
+        assert top.link_between(0, 1).transfer_s(nbytes) == pytest.approx(want)
+
+    def test_multi_node_fabric_slower_than_peer(self):
+        top = multi_node(4, 4)
+        assert top.fabric_link.bandwidth_gbs < top.peer_link.bandwidth_gbs
+        assert top.fabric_link.latency_s > top.peer_link.latency_s
